@@ -1,0 +1,82 @@
+// Ablation C — Chunk-size sweep under failure injection.
+//
+// 1 GB over a two-lane transfer (direct + relay through East US) whose
+// relay forwarder is killed mid-flight, for chunk sizes from 256 KB to
+// 64 MB. Small chunks pay more per-chunk overhead (acks, flow setup);
+// large chunks waste more work on failure (a killed chunk restarts from
+// zero) and pipeline worse. The sweep exposes the interior optimum that
+// justifies the default 4 MiB.
+#include "bench_util.hpp"
+#include "net/transfer.hpp"
+
+namespace sage::bench {
+namespace {
+
+struct Outcome {
+  double seconds = 0.0;
+  int retransmissions = 0;
+  int hop_failures = 0;
+  bool ok = false;
+};
+
+Outcome run_one(Bytes chunk, std::uint64_t seed) {
+  World world(seed);
+  auto& provider = *world.provider;
+  const auto src = provider.provision(cloud::Region::kNorthEU, cloud::VmSize::kSmall);
+  const auto dst = provider.provision(cloud::Region::kNorthUS, cloud::VmSize::kSmall);
+  const auto fwd = provider.provision(cloud::Region::kEastUS, cloud::VmSize::kSmall);
+  const auto helper = provider.provision(cloud::Region::kNorthEU, cloud::VmSize::kSmall);
+
+  std::vector<net::Lane> lanes = net::direct_lane(src.id, dst.id);
+  lanes.push_back(net::Lane{{src.id, fwd.id, dst.id}});
+  lanes.push_back(net::Lane{{src.id, helper.id, dst.id}});
+
+  net::TransferConfig config;
+  config.chunk_size = chunk;
+  config.streams_per_hop = 2;
+
+  Outcome out;
+  bool done = false;
+  net::GeoTransfer transfer(provider, Bytes::gb(1), lanes, config,
+                            [&](const net::TransferResult& r) {
+                              out.seconds = r.elapsed().to_seconds();
+                              out.retransmissions = r.stats.retransmissions;
+                              out.hop_failures = r.stats.hop_failures;
+                              out.ok = r.ok;
+                              done = true;
+                            });
+  transfer.start();
+  // Kill the relay forwarder a third of the way in.
+  world.engine.schedule_after(SimDuration::seconds(30),
+                              [&] { provider.fail_vm(fwd.id); });
+  world.run_until([&] { return done; }, SimDuration::days(2));
+  return out;
+}
+
+void run() {
+  TextTable t({"Chunk size", "Time s", "Retransmissions", "Hop failures", "Completed"});
+  for (double kb : {256.0, 1024.0, 4096.0, 16384.0, 65536.0}) {
+    const Outcome o = run_one(Bytes::kib(kb), /*seed=*/37);
+    t.add_row({to_string(Bytes::kib(kb)), TextTable::num(o.seconds, 0),
+               std::to_string(o.retransmissions), std::to_string(o.hop_failures),
+               o.ok ? "yes" : "NO"});
+  }
+  print_table(t);
+  print_note(
+      "\nShape check: all sizes survive the forwarder loss (chunks restart "
+      "from the source). Sub-MiB chunks pay visibly for per-chunk setup and "
+      "ack overhead; everything from 1 MiB to 16 MiB sits on a broad "
+      "plateau. The 4 MiB default picks the middle of that plateau — small "
+      "enough for fine-grained lane balancing and cheap failure redo, large "
+      "enough to amortize the envelopes.");
+}
+
+}  // namespace
+}  // namespace sage::bench
+
+int main() {
+  sage::bench::print_header("Ablation C",
+                            "Chunk-size sweep with forwarder failure (1 GB, 3 lanes)");
+  sage::bench::run();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Extension D — Adaptive dissemination (one-to-many replication).
+//
+// Replicating a dataset from North EU to the five other datacenters:
+//   * parallel unicast — the source ships every copy itself (its NIC and
+//     its WAN links carry 5x the data);
+//   * SAGE dissemination tree — the widest spanning tree over the
+//     monitored map; already-served sites re-send over their own links
+//     (store-and-forward), so the load spreads across the deployment.
+// Reported per dataset size: completion of the LAST site, the median site,
+// and the tree the planner chose.
+#include "bench_util.hpp"
+#include "core/sage.hpp"
+#include "sched/broadcast.hpp"
+
+namespace sage::bench {
+namespace {
+
+constexpr cloud::Region kSrc = cloud::Region::kNorthEU;
+
+const std::vector<cloud::Region> kTargets = {
+    cloud::Region::kWestEU, cloud::Region::kNorthUS, cloud::Region::kSouthUS,
+    cloud::Region::kEastUS, cloud::Region::kWestUS};
+
+std::unique_ptr<core::SageEngine> deployed_engine(World& world) {
+  core::SageConfig config;
+  config.regions = kTargets;
+  config.regions.push_back(kSrc);
+  config.helpers_per_region = 3;
+  config.monitoring.probe_interval = SimDuration::minutes(1);
+  auto engine = std::make_unique<core::SageEngine>(*world.provider, config);
+  engine->deploy();
+  world.run_for(SimDuration::minutes(12));
+  return engine;
+}
+
+struct Outcome {
+  double last_s = 0.0;
+  double median_s = 0.0;
+};
+
+Outcome run_tree(Bytes size, std::uint64_t seed) {
+  World world(seed);
+  auto engine = deployed_engine(world);
+  Outcome out;
+  bool done = false;
+  engine->disseminate(kSrc, kTargets, size,
+                      [&](const core::SageEngine::DisseminateResult& r) {
+                        out.last_s = r.elapsed.to_seconds();
+                        std::vector<double> times;
+                        for (const auto& [region, at] : r.arrivals) {
+                          times.push_back(at.to_seconds());
+                        }
+                        std::sort(times.begin(), times.end());
+                        out.median_s = times[times.size() / 2];
+                        done = true;
+                      });
+  world.run_until([&] { return done; }, SimDuration::days(2));
+  return out;
+}
+
+Outcome run_unicast(Bytes size, std::uint64_t seed) {
+  World world(seed);
+  auto engine = deployed_engine(world);
+  Outcome out;
+  int pending = static_cast<int>(kTargets.size());
+  std::vector<double> times;
+  const SimTime began = world.engine.now();
+  for (cloud::Region t : kTargets) {
+    engine->send(kSrc, t, size, [&](const stream::SendOutcome& o) {
+      times.push_back((world.engine.now() - began).to_seconds());
+      if (--pending == 0) {
+        std::sort(times.begin(), times.end());
+        out.last_s = times.back();
+        out.median_s = times[times.size() / 2];
+      }
+      (void)o;
+    });
+  }
+  world.run_until([&] { return pending == 0; }, SimDuration::days(2));
+  return out;
+}
+
+void run() {
+  // Show the tree the planner builds on a warmed map.
+  {
+    World world(/*seed=*/123);
+    auto engine = deployed_engine(world);
+    const auto tree =
+        sched::widest_tree(engine->monitoring().snapshot(), kSrc, kTargets);
+    print_note("Planned dissemination tree (warmed map):");
+    TextTable t({"Edge", "Estimated MB/s"});
+    for (const auto& e : tree.edges) {
+      t.add_row({std::string(cloud::region_code(e.from)) + " -> " +
+                     std::string(cloud::region_code(e.to)),
+                 TextTable::num(e.mbps, 2)});
+    }
+    print_table(t);
+  }
+
+  TextTable t({"Size", "Unicast last s", "Unicast median s", "Tree last s",
+               "Tree median s", "Speedup (last)"});
+  for (double mb : {256.0, 1024.0}) {
+    const Bytes size = Bytes::mb(mb);
+    const Outcome uni = run_unicast(size, /*seed=*/123);
+    const Outcome tree = run_tree(size, /*seed=*/123);
+    t.add_row({to_string(size), TextTable::num(uni.last_s, 0),
+               TextTable::num(uni.median_s, 0), TextTable::num(tree.last_s, 0),
+               TextTable::num(tree.median_s, 0),
+               TextTable::num(uni.last_s / tree.last_s, 2)});
+  }
+  print_table(t);
+  print_note(
+      "\nShape check: unicast's five copies all squeeze through the source's "
+      "NIC and WAN links, so its completion grows with the fan-out; the tree "
+      "hands continental distribution to already-served sites (e.g. one "
+      "transatlantic crossing feeds all four US sites region-locally) and "
+      "finishes the last site substantially sooner.");
+}
+
+}  // namespace
+}  // namespace sage::bench
+
+int main() {
+  sage::bench::print_header("Ext D",
+                            "Adaptive dissemination: widest tree vs parallel unicast");
+  sage::bench::run();
+  return 0;
+}

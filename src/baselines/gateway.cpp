@@ -1,0 +1,50 @@
+#include "baselines/gateway.hpp"
+
+namespace sage::baselines {
+
+cloud::VmId GatewayPool::gateway(cloud::Region region) { return gateways(region, 1)[0]; }
+
+std::vector<cloud::VmId> GatewayPool::gateways(cloud::Region region, int count) {
+  auto& pool = gateways_[cloud::region_index(region)];
+  while (static_cast<int>(pool.size()) < count) {
+    pool.push_back(provider_.provision(region, size_).id);
+  }
+  return std::vector<cloud::VmId>(pool.begin(), pool.begin() + count);
+}
+
+std::vector<cloud::VmId> GatewayPool::helpers(cloud::Region region, int count) {
+  auto& pool = helpers_[cloud::region_index(region)];
+  while (static_cast<int>(pool.size()) < count) {
+    pool.push_back(provider_.provision(region, size_).id);
+  }
+  return std::vector<cloud::VmId>(pool.begin(), pool.begin() + count);
+}
+
+std::size_t GatewayPool::heal() {
+  std::size_t replaced = 0;
+  for (cloud::Region r : cloud::kAllRegions) {
+    for (auto* pool : {&gateways_[cloud::region_index(r)],
+                       &helpers_[cloud::region_index(r)]}) {
+      for (cloud::VmId& vm : *pool) {
+        if (!provider_.is_active(vm)) {
+          vm = provider_.provision(r, size_).id;
+          ++replaced;
+        }
+      }
+    }
+  }
+  return replaced;
+}
+
+void GatewayPool::release_all() {
+  for (auto& pool : gateways_) {
+    for (cloud::VmId vm : pool) provider_.release(vm);
+    pool.clear();
+  }
+  for (auto& pool : helpers_) {
+    for (cloud::VmId vm : pool) provider_.release(vm);
+    pool.clear();
+  }
+}
+
+}  // namespace sage::baselines

@@ -1,0 +1,52 @@
+// Shared VM pool for transfer backends.
+//
+// Every transfer system in the comparison (SAGE and the baselines) runs its
+// data-movement agents in ordinary leased VMs. This helper lazily
+// provisions one gateway VM per region (the transfer endpoint) plus any
+// number of helper VMs (local scatter nodes / forwarders), so each backend
+// pays for exactly the machines it uses — the cost comparisons in the
+// benches depend on that.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "cloud/provider.hpp"
+
+namespace sage::baselines {
+
+class GatewayPool {
+ public:
+  explicit GatewayPool(cloud::CloudProvider& provider,
+                       cloud::VmSize size = cloud::VmSize::kSmall)
+      : provider_(provider), size_(size) {}
+
+  /// The region's transfer endpoint VM (provisioned on first use).
+  cloud::VmId gateway(cloud::Region region);
+
+  /// At least `count` gateway VMs in `region` (multi-endpoint deployments
+  /// spread concurrent transfers across them). gateways(r, 1)[0] is the
+  /// same VM gateway(r) returns.
+  std::vector<cloud::VmId> gateways(cloud::Region region, int count);
+
+  /// At least `count` helper VMs in `region` (provisioned on demand).
+  std::vector<cloud::VmId> helpers(cloud::Region region, int count);
+
+  /// Release every VM this pool provisioned.
+  void release_all();
+
+  /// Replace every failed VM in the pool with a fresh lease in the same
+  /// region (the self-healing primitive). Returns how many were replaced.
+  std::size_t heal();
+
+  [[nodiscard]] cloud::CloudProvider& provider() { return provider_; }
+
+ private:
+  cloud::CloudProvider& provider_;
+  cloud::VmSize size_;
+  std::array<std::vector<cloud::VmId>, cloud::kRegionCount> gateways_;
+  std::array<std::vector<cloud::VmId>, cloud::kRegionCount> helpers_;
+};
+
+}  // namespace sage::baselines

@@ -1,0 +1,41 @@
+// Cost accounting for the simulated provider.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace sage::cloud {
+
+/// Itemised charges accumulated by a deployment. All values are exact
+/// (integer micro-USD accumulation).
+struct CostReport {
+  Money vm_lease;
+  Money egress;
+  Money blob_storage;
+  Money blob_transactions;
+
+  [[nodiscard]] Money total() const {
+    return vm_lease + egress + blob_storage + blob_transactions;
+  }
+
+  CostReport operator-(const CostReport& o) const {
+    return CostReport{vm_lease - o.vm_lease, egress - o.egress,
+                      blob_storage - o.blob_storage,
+                      blob_transactions - o.blob_transactions};
+  }
+};
+
+/// Mutable accumulator shared between the provider and its blob services.
+class CostMeter {
+ public:
+  void add_vm_lease(Money m) { report_.vm_lease += m; }
+  void add_egress(Money m) { report_.egress += m; }
+  void add_blob_storage(Money m) { report_.blob_storage += m; }
+  void add_blob_transaction(Money m) { report_.blob_transactions += m; }
+
+  [[nodiscard]] const CostReport& report() const { return report_; }
+
+ private:
+  CostReport report_;
+};
+
+}  // namespace sage::cloud

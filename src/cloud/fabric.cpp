@@ -1,0 +1,350 @@
+#include "cloud/fabric.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace sage::cloud {
+
+Fabric::Fabric(sim::SimEngine& engine, Topology topology, std::uint64_t seed)
+    : engine_(engine), topology_(topology), rng_(seed) {}
+
+namespace {
+
+// Per-node NIC variability: moderate correlated wander plus occasional
+// deep multi-minute slumps. Calibrated so a single wide-area flow (far
+// below the NIC) rarely notices, while multi-flow senders — the scatter
+// and forwarding roles — genuinely differ from node to node.
+VariabilityParams nic_variability() {
+  VariabilityParams p;
+  p.diurnal_amplitude = 0.0;
+  p.noise_sigma = 0.035;
+  p.noise_rho = 0.95;
+  p.noise_step = SimDuration::minutes(2);
+  p.incidents_per_day = 8.0;
+  p.incident_mean_duration = SimDuration::minutes(10);
+  p.incident_depth_lo = 0.3;
+  p.incident_depth_hi = 0.7;
+  return p;
+}
+
+}  // namespace
+
+NodeId Fabric::add_node(Region region, ByteRate nic_up, ByteRate nic_down) {
+  SAGE_CHECK(nic_up.bytes_per_second() > 0.0 && nic_down.bytes_per_second() > 0.0);
+  nodes_.push_back(NodeInfo{region, false});
+  node_up_.push_back(nic_up);
+  node_down_.push_back(nic_down);
+  node_models_.push_back(nullptr);
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Fabric::set_node_failed(NodeId node, bool failed) {
+  SAGE_CHECK(node < nodes_.size());
+  if (nodes_[node].failed == failed) return;
+  advance_progress();
+  nodes_[node].failed = failed;
+  if (failed) {
+    std::vector<FlowId> doomed;
+    for (const auto& [id, f] : flows_) {
+      if (f.src == node || f.dst == node) doomed.push_back(id);
+    }
+    for (FlowId id : doomed) finish_flow(id, FlowOutcome::kFailed);
+  }
+  settle();
+}
+
+bool Fabric::node_failed(NodeId node) const {
+  SAGE_CHECK(node < nodes_.size());
+  return nodes_[node].failed;
+}
+
+Region Fabric::node_region(NodeId node) const {
+  SAGE_CHECK(node < nodes_.size());
+  return nodes_[node].region;
+}
+
+ByteRate Fabric::link_capacity_now(std::size_t link) {
+  if (link < kPairLinks) {
+    auto& model = pair_models_[link];
+    if (!model) {
+      const Region a = kAllRegions[link / kRegionCount];
+      const Region b = kAllRegions[link % kRegionCount];
+      const PairLinkSpec& spec = topology_.link(a, b);
+      model.emplace(spec.capacity, spec.variability, rng_.fork());
+    }
+    return model->capacity_at(engine_.now());
+  }
+  const std::size_t rel = link - kPairLinks;
+  const NodeId node = static_cast<NodeId>(rel / 2);
+  const ByteRate nominal = (rel % 2 == 0) ? node_up_[node] : node_down_[node];
+  // Stable topologies (zero intra-DC noise) keep NICs analytic for tests.
+  if (topology_.link(nodes_[node].region, nodes_[node].region).variability.noise_sigma <=
+      0.0) {
+    return nominal;
+  }
+  auto& model = node_models_[node];
+  if (!model) {
+    model = std::make_unique<LinkCapacityModel>(nominal, nic_variability(), rng_.fork());
+  }
+  // Up and down directions share one wander process (same physical host).
+  const double factor = model->capacity_at(engine_.now()).bytes_per_second() /
+                        model->base().bytes_per_second();
+  return nominal * factor;
+}
+
+ByteRate Fabric::pair_capacity_now(Region a, Region b) {
+  return link_capacity_now(pair_link(a, b));
+}
+
+std::size_t Fabric::pair_flow_count(Region a, Region b) const {
+  const std::size_t link = pair_link(a, b);
+  std::size_t n = 0;
+  for (const auto& [id, f] : flows_) {
+    if (f.links[1] == link) ++n;
+  }
+  return n;
+}
+
+FlowId Fabric::start_flow(NodeId src, NodeId dst, Bytes size, FlowOptions options,
+                          CompletionFn on_done) {
+  SAGE_CHECK(src < nodes_.size() && dst < nodes_.size());
+  SAGE_CHECK_MSG(src != dst, "flow endpoints must differ");
+  SAGE_CHECK(size >= Bytes::zero());
+  SAGE_CHECK(on_done != nullptr);
+
+  const FlowId id = next_flow_id_++;
+  const Region ra = nodes_[src].region;
+  const Region rb = nodes_[dst].region;
+  const PairLinkSpec& spec = topology_.link(ra, rb);
+
+  if (nodes_[src].failed || nodes_[dst].failed) {
+    // Fail asynchronously so callers never re-enter from start_flow.
+    const SimTime now = engine_.now();
+    engine_.schedule_after(SimDuration::zero(), [on_done = std::move(on_done), id, now] {
+      on_done(FlowResult{id, FlowOutcome::kFailed, Bytes::zero(), now, now});
+    });
+    return id;
+  }
+
+  Flow f;
+  f.id = id;
+  f.src = src;
+  f.dst = dst;
+  f.total = size;
+  f.remaining = size;
+  f.spec_flow_cap = spec.per_flow_cap;
+  f.option_cap = options.demand_cap.value_or(
+      ByteRate::bytes_per_sec(std::numeric_limits<double>::infinity()));
+  // Transient per-connection hiccup: a small fraction of connections land
+  // on a transiently bad route / busy co-tenant and run far below the
+  // path's nominal rate for their lifetime. Short flows (probes!) feel
+  // this fully — the "temporary glitch" samples the weighted estimator is
+  // designed to distrust. Disabled on noise-free links so the stable
+  // topology stays analytic.
+  if (spec.variability.noise_sigma > 0.0 && rng_.chance(kHiccupProbability)) {
+    f.hiccup = rng_.uniform(kHiccupDepthLo, kHiccupDepthHi);
+  }
+  SAGE_CHECK_MSG(f.option_cap.bytes_per_second() > 0.0, "flow demand cap must be positive");
+  f.started = engine_.now();
+  f.on_done = std::move(on_done);
+  f.links = {kPairLinks + static_cast<std::size_t>(src) * 2, pair_link(ra, rb),
+             kPairLinks + static_cast<std::size_t>(dst) * 2 + 1};
+  flows_.emplace(id, std::move(f));
+
+  const SimDuration setup = spec.latency + options.extra_setup_latency;
+  engine_.schedule_after(setup, [this, id] {
+    auto it = flows_.find(id);
+    if (it == flows_.end()) return;  // cancelled during setup
+    advance_progress();
+    it->second.active = true;
+    it->second.last_progress = engine_.now();
+    if (it->second.remaining.is_zero()) {
+      finish_flow(id, FlowOutcome::kCompleted);
+      return;
+    }
+    settle();
+  });
+  ensure_refresh_running();
+  return id;
+}
+
+void Fabric::cancel_flow(FlowId id) {
+  if (flows_.count(id) == 0) return;
+  advance_progress();
+  finish_flow(id, FlowOutcome::kCancelled);
+  settle();
+}
+
+bool Fabric::flow_active(FlowId id) const { return flows_.count(id) != 0; }
+
+ByteRate Fabric::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  if (it == flows_.end() || !it->second.active) return ByteRate::zero();
+  return it->second.rate;
+}
+
+Bytes Fabric::flow_transferred(FlowId id) const {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return Bytes::zero();
+  return it->second.total - it->second.remaining;
+}
+
+void Fabric::advance_progress() {
+  const SimTime now = engine_.now();
+  std::vector<FlowId> done;
+  for (auto& [id, f] : flows_) {
+    if (!f.active) continue;
+    const SimDuration dt = now - f.last_progress;
+    f.last_progress = now;
+    if (dt <= SimDuration::zero() || f.rate.is_zero()) continue;
+    Bytes moved = f.rate * dt;
+    if (moved > f.remaining) moved = f.remaining;
+    f.remaining -= moved;
+    const Region ra = nodes_[f.src].region;
+    const Region rb = nodes_[f.dst].region;
+    if (ra != rb) egress_[region_index(ra)] += moved;
+    if (f.remaining.is_zero()) done.push_back(id);
+  }
+  for (FlowId id : done) finish_flow(id, FlowOutcome::kCompleted);
+}
+
+void Fabric::finish_flow(FlowId id, FlowOutcome outcome) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Flow f = std::move(it->second);
+  flows_.erase(it);
+  f.completion.cancel();
+  FlowResult result;
+  result.id = id;
+  result.outcome = outcome;
+  result.transferred =
+      outcome == FlowOutcome::kCompleted ? f.total : (f.total - f.remaining);
+  result.started = f.started;
+  result.finished = engine_.now();
+  f.on_done(result);
+}
+
+ByteRate Fabric::flow_demand(const Flow& flow) const {
+  double cap = flow.option_cap.bytes_per_second();
+  const auto& model = pair_models_[flow.links[1]];
+  // The per-flow TCP ceiling breathes with the pair link's congestion
+  // factor (window shrinkage under cross-traffic loss); the factor is
+  // fresh because settle() queried the link capacity just before.
+  const double factor = model ? model->last_factor() : 1.0;
+  cap = std::min(cap, flow.spec_flow_cap.bytes_per_second() * factor * flow.hiccup);
+  return ByteRate::bytes_per_sec(std::max(cap, 1.0));
+}
+
+void Fabric::settle() {
+  if (settling_) return;
+  settling_ = true;
+
+  // Collect active flows and the capacities of every link they touch.
+  std::vector<Flow*> unsettled;
+  unsettled.reserve(flows_.size());
+  std::unordered_map<std::size_t, double> avail;
+  std::unordered_map<std::size_t, int> count;
+  for (auto& [id, f] : flows_) {
+    if (!f.active) continue;
+    unsettled.push_back(&f);
+    for (std::size_t l : f.links) {
+      if (avail.find(l) == avail.end()) avail[l] = link_capacity_now(l).bytes_per_second();
+      ++count[l];
+    }
+  }
+
+  // Progressive water-filling with per-flow demand ceilings.
+  while (!unsettled.empty()) {
+    double share = std::numeric_limits<double>::infinity();
+    std::size_t bottleneck = static_cast<std::size_t>(-1);
+    for (const auto& [l, c] : count) {
+      if (c <= 0) continue;
+      const double s = std::max(avail[l], 0.0) / static_cast<double>(c);
+      if (s < share) {
+        share = s;
+        bottleneck = l;
+      }
+    }
+    SAGE_CHECK(bottleneck != static_cast<std::size_t>(-1));
+
+    auto settle_flow = [&](Flow* f, double rate) {
+      f->rate = ByteRate::bytes_per_sec(rate);
+      for (std::size_t l : f->links) {
+        avail[l] -= rate;
+        --count[l];
+      }
+    };
+
+    // Demand-limited flows settle below the fair share first.
+    std::vector<Flow*> still;
+    still.reserve(unsettled.size());
+    bool any_demand_limited = false;
+    for (Flow* f : unsettled) {
+      const double demand = flow_demand(*f).bytes_per_second();
+      if (demand <= share + 1e-9) {
+        settle_flow(f, demand);
+        any_demand_limited = true;
+      } else {
+        still.push_back(f);
+      }
+    }
+    if (any_demand_limited) {
+      unsettled.swap(still);
+      continue;
+    }
+
+    // Otherwise the bottleneck link pins everyone crossing it at the share.
+    std::vector<Flow*> rest;
+    rest.reserve(unsettled.size());
+    for (Flow* f : unsettled) {
+      const bool on_bottleneck =
+          f->links[0] == bottleneck || f->links[1] == bottleneck || f->links[2] == bottleneck;
+      if (on_bottleneck) {
+        settle_flow(f, share);
+      } else {
+        rest.push_back(f);
+      }
+    }
+    unsettled.swap(rest);
+  }
+
+  // Reschedule completions at the new rates.
+  for (auto& [id, f] : flows_) {
+    if (!f.active) continue;
+    f.completion.cancel();
+    if (f.rate.is_zero() || f.remaining.is_zero()) continue;
+    // Floor the ETA at one clock tick: sub-microsecond remainders would
+    // otherwise reschedule at +0 forever. One tick at any rate that can
+    // produce a sub-tick ETA moves at least the remaining byte.
+    const SimDuration eta =
+        std::max(f.rate.time_for(f.remaining), SimDuration::micros(1));
+    const FlowId fid = id;
+    f.completion = engine_.schedule_after(eta, [this, fid] {
+      advance_progress();
+      // advance_progress normally finishes the flow exactly here; belt and
+      // braces for the last sub-byte of integer rounding:
+      auto it = flows_.find(fid);
+      if (it != flows_.end() && it->second.remaining <= Bytes::of(1)) {
+        finish_flow(fid, FlowOutcome::kCompleted);
+      }
+      settle();
+    });
+  }
+  settling_ = false;
+}
+
+void Fabric::refresh_tick() {
+  if (flows_.empty()) return;  // goes dormant; restarted by next start_flow
+  advance_progress();
+  settle();
+  refresh_event_ = engine_.schedule_after(refresh_period_, [this] { refresh_tick(); });
+}
+
+void Fabric::ensure_refresh_running() {
+  if (refresh_event_.pending()) return;
+  refresh_event_ = engine_.schedule_after(refresh_period_, [this] { refresh_tick(); });
+}
+
+}  // namespace sage::cloud

@@ -1,0 +1,196 @@
+// Fluid-flow network fabric for the simulated multi-site cloud.
+//
+// Flows (bulk TCP transfers between two nodes) receive rates by max-min fair
+// water-filling over the links they traverse:
+//
+//   node egress NIC -> inter-region WAN link (or intra-DC link) -> ingress NIC
+//
+// each flow additionally bounded by a demand cap (intrusiveness throttling)
+// and by the route's per-flow TCP ceiling (effective window / RTT). WAN and
+// intra-DC link capacities evolve over time through LinkCapacityModel; a
+// periodic refresh (active only while flows exist) re-settles rates so flows
+// experience the environment drift that SAGE's monitoring layer must detect.
+//
+// This is a deliberate substitution for the paper's real Azure testbed: the
+// scheduler and model layers only ever observe flow-level throughput, which
+// this fabric reproduces (see DESIGN.md substitution table).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cloud/link_model.hpp"
+#include "cloud/region.hpp"
+#include "cloud/topology.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "simcore/engine.hpp"
+
+namespace sage::cloud {
+
+using NodeId = std::uint32_t;
+using FlowId = std::uint64_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+struct FlowOptions {
+  /// Upper bound on this flow's rate (e.g. intrusiveness × NIC). Unset means
+  /// only the NIC / link / TCP limits apply.
+  std::optional<ByteRate> demand_cap;
+  /// Extra one-shot setup delay before bytes start moving (protocol
+  /// handshakes, HTTP envelope for blob operations, ...).
+  SimDuration extra_setup_latency = SimDuration::zero();
+};
+
+enum class FlowOutcome : std::uint8_t { kCompleted, kFailed, kCancelled };
+
+struct FlowResult {
+  FlowId id;
+  FlowOutcome outcome;
+  Bytes transferred;
+  SimTime started;
+  SimTime finished;
+
+  [[nodiscard]] bool ok() const { return outcome == FlowOutcome::kCompleted; }
+  [[nodiscard]] SimDuration elapsed() const { return finished - started; }
+  [[nodiscard]] ByteRate achieved_rate() const { return transferred / elapsed(); }
+};
+
+class Fabric {
+ public:
+  using CompletionFn = std::function<void(const FlowResult&)>;
+
+  Fabric(sim::SimEngine& engine, Topology topology, std::uint64_t seed);
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  // -- Nodes ---------------------------------------------------------------
+
+  /// Register a node (VM or storage endpoint) with its NIC limits.
+  NodeId add_node(Region region, ByteRate nic_up, ByteRate nic_down);
+
+  /// Mark a node failed/recovered. Failing a node aborts all of its flows.
+  void set_node_failed(NodeId node, bool failed);
+  [[nodiscard]] bool node_failed(NodeId node) const;
+  [[nodiscard]] Region node_region(NodeId node) const;
+
+  // -- Flows ---------------------------------------------------------------
+
+  /// Begin moving `size` bytes from `src` to `dst`. `on_done` fires exactly
+  /// once. Starting a flow on a failed endpoint fails asynchronously.
+  FlowId start_flow(NodeId src, NodeId dst, Bytes size, FlowOptions options,
+                    CompletionFn on_done);
+
+  /// Abort a flow; its completion callback fires with kCancelled. No-op if
+  /// the flow already finished.
+  void cancel_flow(FlowId id);
+
+  [[nodiscard]] bool flow_active(FlowId id) const;
+  [[nodiscard]] ByteRate flow_rate(FlowId id) const;
+  [[nodiscard]] Bytes flow_transferred(FlowId id) const;
+
+  // -- Observability -------------------------------------------------------
+
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] SimDuration rtt(Region a, Region b) const { return topology_.rtt(a, b); }
+
+  /// Current (time-evolved) aggregate capacity of the region-pair link.
+  /// Used by oracle baselines and tests, not by SAGE itself (which must
+  /// estimate it from probes).
+  ByteRate pair_capacity_now(Region a, Region b);
+
+  /// Egress bytes that have left each region towards a different region;
+  /// drives the provider's cost meter.
+  [[nodiscard]] Bytes egress_from(Region r) const {
+    return egress_[region_index(r)];
+  }
+
+  [[nodiscard]] std::size_t active_flow_count() const { return flows_.size(); }
+
+  /// Number of live flows currently crossing the (a, b) region-pair link.
+  /// The monitoring layer uses this to suspend probes on busy links.
+  [[nodiscard]] std::size_t pair_flow_count(Region a, Region b) const;
+
+  /// Rate-settlement granularity (default 500 ms of simulated time).
+  void set_refresh_period(SimDuration d) { refresh_period_ = d; }
+
+ private:
+  // Link indexing: [0, kPairLinks) region-pair links (row-major src*6+dst;
+  // the diagonal holds intra-DC links), then two links per node (up, down).
+  static constexpr std::size_t kPairLinks = kRegionCount * kRegionCount;
+
+  // Per-connection transient hiccup parameters (see start_flow).
+  static constexpr double kHiccupProbability = 0.12;
+  static constexpr double kHiccupDepthLo = 0.10;
+  static constexpr double kHiccupDepthHi = 0.45;
+
+  struct Flow {
+    FlowId id;
+    NodeId src;
+    NodeId dst;
+    Bytes total;
+    Bytes remaining;
+    ByteRate option_cap;     // demand_cap from FlowOptions (max() if unset)
+    ByteRate spec_flow_cap;  // route's nominal per-flow TCP ceiling
+    double hiccup = 1.0;     // transient per-connection luck factor
+    ByteRate rate;           // current settled rate
+    SimTime started;
+    SimTime last_progress;
+    bool active = false;  // false while in setup-latency phase
+    CompletionFn on_done;
+    sim::EventHandle completion;
+    std::array<std::size_t, 3> links{};  // up, pair, down
+  };
+
+  struct NodeInfo {
+    Region region;
+    bool failed = false;
+  };
+
+  std::size_t pair_link(Region a, Region b) const {
+    return region_index(a) * kRegionCount + region_index(b);
+  }
+
+  /// A flow's current demand ceiling: min(option cap, nominal per-flow TCP
+  /// ceiling scaled by the pair link's congestion factor). Multi-tenant
+  /// drift therefore hits single flows too, not just saturated links.
+  [[nodiscard]] ByteRate flow_demand(const Flow& flow) const;
+
+  /// Bring all flow byte-counters up to `now` at their settled rates.
+  void advance_progress();
+  /// Recompute all flow rates (max-min) and reschedule completions.
+  void settle();
+  void finish_flow(FlowId id, FlowOutcome outcome);
+  void refresh_tick();
+  void ensure_refresh_running();
+  ByteRate link_capacity_now(std::size_t link);
+
+  sim::SimEngine& engine_;
+  Topology topology_;
+  Rng rng_;
+  SimDuration refresh_period_ = SimDuration::millis(500);
+
+  std::vector<NodeInfo> nodes_;
+  std::vector<ByteRate> node_up_;
+  std::vector<ByteRate> node_down_;
+  // Per-node NIC wander: a VM's deliverable bandwidth drifts with its
+  // co-tenants and occasionally collapses for minutes (the "problematic
+  // node" a scheduler must route around). Only animated on non-stable
+  // topologies; lazily created per node.
+  std::vector<std::unique_ptr<LinkCapacityModel>> node_models_;
+
+  // Pair-link capacity models, created lazily per directed pair.
+  std::array<std::optional<LinkCapacityModel>, kPairLinks> pair_models_;
+
+  std::unordered_map<FlowId, Flow> flows_;
+  FlowId next_flow_id_ = 1;
+  std::array<Bytes, kRegionCount> egress_{};
+  sim::EventHandle refresh_event_;
+  bool settling_ = false;
+};
+
+}  // namespace sage::cloud

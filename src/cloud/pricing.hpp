@@ -1,0 +1,53 @@
+// Pricing model of the simulated provider (2013-era Azure price book).
+//
+// Inbound WAN traffic is free; outbound ("egress") is billed per GB at the
+// source region's rate. Blob storage bills capacity per GB-month plus a
+// per-transaction charge. VM leases bill per hour, prorated to the second —
+// SAGE's cost/time tradeoff solvers depend on that proration (shorter
+// transfers on more VMs can be *cheaper*, the knee in Fig 6).
+#pragma once
+
+#include "cloud/region.hpp"
+#include "cloud/vm.hpp"
+#include "common/units.hpp"
+
+namespace sage::cloud {
+
+class PricingModel {
+ public:
+  /// Default 2013-era price book.
+  PricingModel() = default;
+
+  /// Lease cost for a VM of `size` held for `d` (prorated to microseconds).
+  [[nodiscard]] Money vm_lease(VmSize size, SimDuration d) const {
+    return vm_spec(size).hourly_price * d.to_hours();
+  }
+
+  /// Egress charge for `size` leaving `from` towards a *different* region.
+  /// Intra-region traffic is free.
+  [[nodiscard]] Money egress(Region from, Region to, Bytes size) const {
+    if (from == to) return Money::zero();
+    return egress_per_gb(from) * size.to_gb();
+  }
+
+  /// Per-GB egress rate by source region (EU/US "Zone 1" pricing).
+  [[nodiscard]] Money egress_per_gb(Region from) const {
+    // Zone-1 regions all billed $0.12/GB in the 2013 price book.
+    (void)from;
+    return Money::usd(0.12);
+  }
+
+  /// Blob capacity price per GB per 30-day month (locally redundant tier).
+  [[nodiscard]] Money blob_storage_per_gb_month() const { return Money::usd(0.07); }
+
+  /// Storage cost for holding `size` for `d`.
+  [[nodiscard]] Money blob_storage(Bytes size, SimDuration d) const {
+    const double months = d.to_hours() / (30.0 * 24.0);
+    return blob_storage_per_gb_month() * (size.to_gb() * months);
+  }
+
+  /// Per-transaction charge ($0.01 per 100k operations).
+  [[nodiscard]] Money blob_transaction() const { return Money::micro_usd(100); }
+};
+
+}  // namespace sage::cloud

@@ -1,0 +1,79 @@
+// The simulated cloud's geography: the six 2013-era Azure datacenters the
+// SAGE evaluation ran on (North/West Europe, North/South/East/West US).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace sage::cloud {
+
+enum class Region : std::uint8_t {
+  kNorthEU = 0,
+  kWestEU = 1,
+  kNorthUS = 2,
+  kSouthUS = 3,
+  kEastUS = 4,
+  kWestUS = 5,
+};
+
+inline constexpr std::size_t kRegionCount = 6;
+
+inline constexpr std::array<Region, kRegionCount> kAllRegions = {
+    Region::kNorthEU, Region::kWestEU, Region::kNorthUS,
+    Region::kSouthUS, Region::kEastUS, Region::kWestUS,
+};
+
+enum class Continent : std::uint8_t { kEurope, kNorthAmerica };
+
+[[nodiscard]] constexpr std::size_t region_index(Region r) {
+  return static_cast<std::size_t>(r);
+}
+
+[[nodiscard]] constexpr Continent continent_of(Region r) {
+  switch (r) {
+    case Region::kNorthEU:
+    case Region::kWestEU:
+      return Continent::kEurope;
+    default:
+      return Continent::kNorthAmerica;
+  }
+}
+
+[[nodiscard]] constexpr std::string_view region_name(Region r) {
+  switch (r) {
+    case Region::kNorthEU:
+      return "North EU";
+    case Region::kWestEU:
+      return "West EU";
+    case Region::kNorthUS:
+      return "North US";
+    case Region::kSouthUS:
+      return "South US";
+    case Region::kEastUS:
+      return "East US";
+    case Region::kWestUS:
+      return "West US";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view region_code(Region r) {
+  switch (r) {
+    case Region::kNorthEU:
+      return "NEU";
+    case Region::kWestEU:
+      return "WEU";
+    case Region::kNorthUS:
+      return "NUS";
+    case Region::kSouthUS:
+      return "SUS";
+    case Region::kEastUS:
+      return "EUS";
+    case Region::kWestUS:
+      return "WUS";
+  }
+  return "?";
+}
+
+}  // namespace sage::cloud

@@ -1,0 +1,56 @@
+// Calibrated inter-datacenter topology for the simulated Azure fabric.
+//
+// Calibration targets (2013-era measurements on Azure EU/US sites):
+//   * single-flow inter-DC TCP throughput from a Small instance: 3–10 MB/s
+//     depending on distance, with EU↔EU ~NIC-bound and transatlantic lowest;
+//   * intra-DC transfers at least 10× faster than wide-area ones;
+//   * aggregate WAN throughput saturating sub-linearly around 6–10 parallel
+//     node flows.
+//
+// Per-flow throughput is modelled as min(NIC share, WAN per-flow TCP cap,
+// link fair share); the TCP cap derives from an effective window over the
+// pair's RTT, which is what makes distance (not raw capacity) the dominant
+// single-flow limit, exactly as observed.
+#pragma once
+
+#include <array>
+
+#include "cloud/link_model.hpp"
+#include "cloud/region.hpp"
+#include "common/units.hpp"
+
+namespace sage::cloud {
+
+struct PairLinkSpec {
+  /// Aggregate deliverable WAN capacity for this directed region pair.
+  ByteRate capacity;
+  /// Per-TCP-flow throughput ceiling (effective window / RTT).
+  ByteRate per_flow_cap;
+  /// One-way propagation + processing delay.
+  SimDuration latency;
+  /// Stochastic behaviour of the link.
+  VariabilityParams variability;
+};
+
+struct Topology {
+  /// WAN spec for src != dst; intra spec used when src == dst.
+  [[nodiscard]] const PairLinkSpec& link(Region src, Region dst) const {
+    return specs[region_index(src)][region_index(dst)];
+  }
+
+  std::array<std::array<PairLinkSpec, kRegionCount>, kRegionCount> specs{};
+
+  /// Round-trip time between two regions (2 × one-way latency).
+  [[nodiscard]] SimDuration rtt(Region src, Region dst) const {
+    return link(src, dst).latency * 2.0;
+  }
+};
+
+/// The default calibrated topology (see file comment for targets).
+[[nodiscard]] Topology default_topology();
+
+/// A perfectly stable variant (no noise/diurnal/incidents) for unit tests
+/// and model-validation experiments where analytic expectations are needed.
+[[nodiscard]] Topology stable_topology();
+
+}  // namespace sage::cloud

@@ -1,0 +1,53 @@
+// VM catalogue of the simulated provider, calibrated to 2013-era Azure
+// compute instances (the sizes the SAGE evaluation used: Small and Medium
+// for the synthetic benchmarks, Extra-Large for the application run).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace sage::cloud {
+
+enum class VmSize : std::uint8_t { kSmall = 0, kMedium = 1, kLarge = 2, kXLarge = 3 };
+
+inline constexpr std::size_t kVmSizeCount = 4;
+
+struct VmSpec {
+  VmSize size;
+  std::string_view name;
+  int cores;
+  double memory_gb;
+  /// Advertised NIC bandwidth (shared by all of the VM's flows).
+  ByteRate nic;
+  /// Pay-per-use lease price.
+  Money hourly_price;
+  /// Relative single-core compute throughput (Small == 1.0); the CPU probe
+  /// benchmark and the streaming executor's per-record cost use this.
+  double compute_factor;
+};
+
+[[nodiscard]] constexpr VmSpec vm_spec(VmSize size) {
+  switch (size) {
+    case VmSize::kSmall:
+      return {VmSize::kSmall,  "Small",  1, 1.75, ByteRate::megabits_per_sec(100),
+              Money::usd(0.06), 1.0};
+    case VmSize::kMedium:
+      return {VmSize::kMedium, "Medium", 2, 3.5,  ByteRate::megabits_per_sec(200),
+              Money::usd(0.12), 1.0};
+    case VmSize::kLarge:
+      return {VmSize::kLarge,  "Large",  4, 7.0,  ByteRate::megabits_per_sec(400),
+              Money::usd(0.24), 1.05};
+    case VmSize::kXLarge:
+      return {VmSize::kXLarge, "XLarge", 8, 14.0, ByteRate::megabits_per_sec(800),
+              Money::usd(0.48), 1.05};
+  }
+  return {VmSize::kSmall, "?", 1, 1.0, ByteRate::zero(), Money::zero(), 1.0};
+}
+
+inline constexpr std::array<VmSize, kVmSizeCount> kAllVmSizes = {
+    VmSize::kSmall, VmSize::kMedium, VmSize::kLarge, VmSize::kXLarge};
+
+}  // namespace sage::cloud

@@ -1,0 +1,34 @@
+// Precondition / invariant checking.
+//
+// SAGE_CHECK throws (rather than aborting) so that unit tests can assert on
+// contract violations, and so a misconfigured experiment fails with a
+// diagnosable message instead of a core dump.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sage {
+
+class CheckFailure : public std::logic_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  throw CheckFailure(std::string("SAGE_CHECK failed: ") + expr + " at " + file + ":" +
+                     std::to_string(line) + (msg.empty() ? "" : (" — " + msg)));
+}
+
+}  // namespace sage
+
+#define SAGE_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::sage::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define SAGE_CHECK_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) ::sage::check_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,49 @@
+// Content hashing used for chunk integrity and deduplication in sage_net.
+//
+// FNV-1a 64 with an avalanche finalizer: not cryptographic (the simulator
+// threat model is corruption/duplication detection, matching the system's
+// use of hashes for dedup and recomposition), but fast and collision-sparse
+// over chunk-sized inputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace sage {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t hash_mix(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+constexpr std::uint64_t hash_bytes(std::span<const std::byte> data,
+                                   std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= kFnvPrime;
+  }
+  return hash_mix(h);
+}
+
+inline std::uint64_t hash_string(std::string_view s, std::uint64_t seed = kFnvOffset) {
+  return hash_bytes(std::as_bytes(std::span(s.data(), s.size())), seed);
+}
+
+constexpr std::uint64_t hash_u64(std::uint64_t v) { return hash_mix(v * kFnvPrime); }
+
+/// Combine two hashes (order-sensitive).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return hash_mix(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace sage

@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded by construction (a discrete-event loop),
+// so the logger needs no synchronisation; it exists to give examples and
+// benches a uniform, suppressible trace channel with simulated timestamps.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace sage {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Global logger instance shared by the whole process.
+  static Logger& global();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Replace the output sink (default: stderr). Used by tests to capture.
+  void set_sink(Sink sink);
+
+  /// Attach a simulated-clock source so log lines carry virtual timestamps.
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+
+  void log(LogLevel level, const std::string& msg);
+
+  void debug(const std::string& msg) { log(LogLevel::kDebug, msg); }
+  void info(const std::string& msg) { log(LogLevel::kInfo, msg); }
+  void warn(const std::string& msg) { log(LogLevel::kWarn, msg); }
+  void error(const std::string& msg) { log(LogLevel::kError, msg); }
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+  std::function<SimTime()> clock_;
+};
+
+}  // namespace sage

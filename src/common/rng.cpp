@@ -1,0 +1,92 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace sage {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.next();
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo + 1);
+  return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double m = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * m;
+  has_spare_ = true;
+  return u * m;
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+double Rng::exponential(double rate) { return -std::log1p(-uniform()) / rate; }
+
+double Rng::pareto(double xm, double alpha) {
+  return xm / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+std::int64_t Rng::zipf(std::int64_t n, double s) {
+  // Rejection-inversion would be overkill for workload keys; a simple
+  // normalized power-law inversion over a truncated harmonic sum suffices
+  // and stays deterministic.
+  if (n <= 1) return 0;
+  const double u = uniform();
+  // Invert the continuous approximation of the Zipf CDF.
+  if (s == 1.0) {
+    const double h = std::log(static_cast<double>(n));
+    return static_cast<std::int64_t>(std::exp(u * h)) - 1;
+  }
+  const double one_minus_s = 1.0 - s;
+  const double h = (std::pow(static_cast<double>(n), one_minus_s) - 1.0) / one_minus_s;
+  const double x = std::pow(u * h * one_minus_s + 1.0, 1.0 / one_minus_s);
+  auto k = static_cast<std::int64_t>(x) - 1;
+  if (k < 0) k = 0;
+  if (k >= n) k = n - 1;
+  return k;
+}
+
+}  // namespace sage

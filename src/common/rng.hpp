@@ -1,0 +1,67 @@
+// Deterministic random number generation for the simulator.
+//
+// All stochastic behaviour in SAGE (link noise, incident arrivals, workload
+// generation) flows through one of these generators, seeded explicitly, so
+// every experiment in bench/ regenerates bit-identical tables.
+//
+// The generator is xoshiro256** seeded via SplitMix64 — fast, tiny state and
+// well-studied statistical quality; <random> engines are avoided because
+// their distributions are not reproducible across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sage {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** PRNG with distribution helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5a6eULL);
+
+  /// Derive an independent child stream (for per-link / per-source RNGs).
+  [[nodiscard]] Rng fork();
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box-Muller (cached spare).
+  double normal();
+  double normal(double mean, double stddev);
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+  /// Pareto with scale xm > 0 and shape alpha > 0 (heavy-tailed incidents).
+  double pareto(double xm, double alpha);
+  /// Bernoulli trial.
+  bool chance(double p);
+  /// Zipf-like integer in [0, n) with exponent s (workload key skew).
+  std::int64_t zipf(std::int64_t n, double s);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace sage

@@ -1,0 +1,92 @@
+// Online statistics used by the monitoring layer and the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sage {
+
+/// Welford online mean/variance. O(1) memory, numerically stable.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divides by n, matching the paper-style sigma).
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exponentially weighted moving average.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {}
+
+  void add(double x);
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool empty() const { return !seeded_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Exact sample container with quantiles; used by the experiment harness
+/// where sample counts are modest (thousands) and exact percentiles matter
+/// for confidence intervals.
+class SampleSet {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  /// Quantile in [0,1] by linear interpolation; requires at least 1 sample.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  /// Half-width of the normal-approximation 95% confidence interval.
+  [[nodiscard]] double ci95_half_width() const;
+  [[nodiscard]] const std::vector<double>& values() const { return xs_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> xs_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range values clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace sage

@@ -1,0 +1,31 @@
+// Plain-text table writer used by the bench harness to print paper-style
+// tables and figure series with aligned columns.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sage {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render with a header underline and 2-space column gaps.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sage

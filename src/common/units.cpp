@@ -1,0 +1,44 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace sage {
+namespace {
+
+std::string format(const char* fmt, double v, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return std::string(buf) + suffix;
+}
+
+}  // namespace
+
+std::string to_string(SimDuration d) {
+  const double s = d.to_seconds();
+  if (d == SimDuration::max()) return "inf";
+  if (s < 1e-3) return format("%.0f", static_cast<double>(d.count_micros()), " us");
+  if (s < 1.0) return format("%.1f", s * 1e3, " ms");
+  if (s < 120.0) return format("%.2f", s, " s");
+  if (s < 7200.0) return format("%.1f", s / 60.0, " min");
+  return format("%.2f", s / 3600.0, " h");
+}
+
+std::string to_string(SimTime t) { return to_string(t - SimTime::epoch()); }
+
+std::string to_string(Bytes b) {
+  const double v = static_cast<double>(b.count());
+  if (v < 1e3) return format("%.0f", v, " B");
+  if (v < 1e6) return format("%.1f", v / 1e3, " KB");
+  if (v < 1e9) return format("%.1f", v / 1e6, " MB");
+  return format("%.2f", v / 1e9, " GB");
+}
+
+std::string to_string(ByteRate r) {
+  const double v = r.bytes_per_second();
+  if (v < 1e6) return format("%.1f", v / 1e3, " KB/s");
+  return format("%.2f", v / 1e6, " MB/s");
+}
+
+std::string to_string(Money m) { return format("$%.4f", m.to_usd(), ""); }
+
+}  // namespace sage

@@ -1,0 +1,237 @@
+// Strongly-typed physical units used throughout SAGE.
+//
+// The geo-transfer domain mixes bytes, bits-per-second, US dollars and
+// simulated time in almost every equation; the historical bug pattern is a
+// silent MB/Mb or seconds/hours mix-up. Every quantity that crosses a module
+// boundary is therefore a distinct type with explicit conversions.
+//
+// Representation choices:
+//   * SimTime / SimDuration : int64 microseconds (exact arithmetic; a week of
+//     simulated time is ~6e11 us, far inside the int64 range).
+//   * Bytes                 : int64 bytes.
+//   * ByteRate              : double bytes/second (rates are measured, never
+//     counted, so floating point is appropriate).
+//   * Money                 : int64 micro-USD (exact accumulation of costs;
+//     avoids the classic double-drift in billing loops).
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace sage {
+
+// ---------------------------------------------------------------------------
+// Simulated time.
+// ---------------------------------------------------------------------------
+
+/// A span of simulated time, in integer microseconds.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  static constexpr SimDuration micros(std::int64_t us) { return SimDuration{us}; }
+  static constexpr SimDuration millis(std::int64_t ms) { return SimDuration{ms * 1000}; }
+  static constexpr SimDuration seconds(double s) {
+    return SimDuration{static_cast<std::int64_t>(s * 1e6)};
+  }
+  static constexpr SimDuration minutes(double m) { return seconds(m * 60.0); }
+  static constexpr SimDuration hours(double h) { return seconds(h * 3600.0); }
+  static constexpr SimDuration days(double d) { return hours(d * 24.0); }
+  static constexpr SimDuration zero() { return SimDuration{0}; }
+  static constexpr SimDuration max() {
+    return SimDuration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t count_micros() const { return us_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+  [[nodiscard]] constexpr double to_hours() const { return to_seconds() / 3600.0; }
+  [[nodiscard]] constexpr bool is_zero() const { return us_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return us_ < 0; }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+  constexpr SimDuration operator+(SimDuration o) const { return SimDuration{us_ + o.us_}; }
+  constexpr SimDuration operator-(SimDuration o) const { return SimDuration{us_ - o.us_}; }
+  constexpr SimDuration operator*(double k) const {
+    return SimDuration{static_cast<std::int64_t>(static_cast<double>(us_) * k)};
+  }
+  constexpr SimDuration operator/(double k) const {
+    return SimDuration{static_cast<std::int64_t>(static_cast<double>(us_) / k)};
+  }
+  constexpr double operator/(SimDuration o) const {
+    return static_cast<double>(us_) / static_cast<double>(o.us_);
+  }
+  constexpr SimDuration& operator+=(SimDuration o) {
+    us_ += o.us_;
+    return *this;
+  }
+
+ private:
+  constexpr explicit SimDuration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// An absolute point on the simulated clock (microseconds since epoch 0).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime epoch() { return SimTime{}; }
+  static constexpr SimTime from_micros(std::int64_t us) { return SimTime{us}; }
+
+  [[nodiscard]] constexpr std::int64_t count_micros() const { return us_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+  [[nodiscard]] constexpr double to_hours() const { return to_seconds() / 3600.0; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(SimDuration d) const { return SimTime{us_ + d.count_micros()}; }
+  constexpr SimTime operator-(SimDuration d) const { return SimTime{us_ - d.count_micros()}; }
+  constexpr SimDuration operator-(SimTime o) const { return SimDuration::micros(us_ - o.us_); }
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Data sizes and rates.
+// ---------------------------------------------------------------------------
+
+/// A count of bytes. Decimal units (KB = 1000 B) match cloud billing; the
+/// binary helpers are provided for workloads specified in MiB.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  static constexpr Bytes of(std::int64_t b) { return Bytes{b}; }
+  static constexpr Bytes kb(double k) { return Bytes{static_cast<std::int64_t>(k * 1e3)}; }
+  static constexpr Bytes mb(double m) { return Bytes{static_cast<std::int64_t>(m * 1e6)}; }
+  static constexpr Bytes gb(double g) { return Bytes{static_cast<std::int64_t>(g * 1e9)}; }
+  static constexpr Bytes kib(double k) { return Bytes{static_cast<std::int64_t>(k * 1024)}; }
+  static constexpr Bytes mib(double m) {
+    return Bytes{static_cast<std::int64_t>(m * 1024 * 1024)};
+  }
+  static constexpr Bytes zero() { return Bytes{0}; }
+
+  [[nodiscard]] constexpr std::int64_t count() const { return b_; }
+  [[nodiscard]] constexpr double to_mb() const { return static_cast<double>(b_) / 1e6; }
+  [[nodiscard]] constexpr double to_gb() const { return static_cast<double>(b_) / 1e9; }
+  [[nodiscard]] constexpr bool is_zero() const { return b_ == 0; }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+  constexpr Bytes operator+(Bytes o) const { return Bytes{b_ + o.b_}; }
+  constexpr Bytes operator-(Bytes o) const { return Bytes{b_ - o.b_}; }
+  constexpr Bytes operator*(double k) const {
+    return Bytes{static_cast<std::int64_t>(static_cast<double>(b_) * k)};
+  }
+  constexpr Bytes operator/(std::int64_t k) const { return Bytes{b_ / k}; }
+  constexpr double operator/(Bytes o) const {
+    return static_cast<double>(b_) / static_cast<double>(o.b_);
+  }
+  constexpr Bytes& operator+=(Bytes o) {
+    b_ += o.b_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes o) {
+    b_ -= o.b_;
+    return *this;
+  }
+
+ private:
+  constexpr explicit Bytes(std::int64_t b) : b_(b) {}
+  std::int64_t b_ = 0;
+};
+
+/// A data rate in bytes per second.
+class ByteRate {
+ public:
+  constexpr ByteRate() = default;
+  static constexpr ByteRate bytes_per_sec(double bps) { return ByteRate{bps}; }
+  static constexpr ByteRate mb_per_sec(double mbps) { return ByteRate{mbps * 1e6}; }
+  /// Network-interface style megabits per second (e.g. a 100 Mbps NIC).
+  static constexpr ByteRate megabits_per_sec(double mbit) { return ByteRate{mbit * 1e6 / 8.0}; }
+  static constexpr ByteRate zero() { return ByteRate{0.0}; }
+
+  [[nodiscard]] constexpr double bytes_per_second() const { return bps_; }
+  [[nodiscard]] constexpr double to_mb_per_sec() const { return bps_ / 1e6; }
+  [[nodiscard]] constexpr bool is_zero() const { return bps_ <= 0.0; }
+
+  constexpr auto operator<=>(const ByteRate&) const = default;
+  constexpr ByteRate operator+(ByteRate o) const { return ByteRate{bps_ + o.bps_}; }
+  constexpr ByteRate operator-(ByteRate o) const { return ByteRate{bps_ - o.bps_}; }
+  constexpr ByteRate operator*(double k) const { return ByteRate{bps_ * k}; }
+  constexpr ByteRate operator/(double k) const { return ByteRate{bps_ / k}; }
+
+  /// Time to move `size` at this rate. Zero rates yield SimDuration::max().
+  [[nodiscard]] constexpr SimDuration time_for(Bytes size) const {
+    if (bps_ <= 0.0) return SimDuration::max();
+    return SimDuration::seconds(static_cast<double>(size.count()) / bps_);
+  }
+
+ private:
+  constexpr explicit ByteRate(double bps) : bps_(bps) {}
+  double bps_ = 0.0;
+};
+
+/// Bytes moved in a duration -> achieved rate.
+constexpr ByteRate operator/(Bytes b, SimDuration d) {
+  if (d.count_micros() <= 0) return ByteRate::zero();
+  return ByteRate::bytes_per_sec(static_cast<double>(b.count()) / d.to_seconds());
+}
+
+/// Rate sustained over a duration -> bytes moved.
+constexpr Bytes operator*(ByteRate r, SimDuration d) {
+  return Bytes::of(static_cast<std::int64_t>(r.bytes_per_second() * d.to_seconds()));
+}
+
+// ---------------------------------------------------------------------------
+// Money.
+// ---------------------------------------------------------------------------
+
+/// Monetary amounts in integer micro-USD. Cloud billing accumulates many tiny
+/// charges (per-VM-second, per-transaction); integer arithmetic keeps cost
+/// meters exact and comparisons in the tradeoff solvers total-ordered.
+class Money {
+ public:
+  constexpr Money() = default;
+  static constexpr Money micro_usd(std::int64_t u) { return Money{u}; }
+  static constexpr Money usd(double d) {
+    return Money{static_cast<std::int64_t>(std::llround(d * 1e6))};
+  }
+  static constexpr Money cents(double c) { return usd(c / 100.0); }
+  static constexpr Money zero() { return Money{0}; }
+  static constexpr Money max() { return Money{std::numeric_limits<std::int64_t>::max()}; }
+
+  [[nodiscard]] constexpr std::int64_t count_micro_usd() const { return u_; }
+  [[nodiscard]] constexpr double to_usd() const { return static_cast<double>(u_) / 1e6; }
+  [[nodiscard]] constexpr bool is_zero() const { return u_ == 0; }
+
+  constexpr auto operator<=>(const Money&) const = default;
+  constexpr Money operator+(Money o) const { return Money{u_ + o.u_}; }
+  constexpr Money operator-(Money o) const { return Money{u_ - o.u_}; }
+  constexpr Money operator*(double k) const {
+    return Money{static_cast<std::int64_t>(static_cast<double>(u_) * k)};
+  }
+  constexpr double operator/(Money o) const {
+    return static_cast<double>(u_) / static_cast<double>(o.u_);
+  }
+  constexpr Money& operator+=(Money o) {
+    u_ += o.u_;
+    return *this;
+  }
+
+ private:
+  constexpr explicit Money(std::int64_t u) : u_(u) {}
+  std::int64_t u_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Formatting helpers (definitions in units.cpp).
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::string to_string(SimDuration d);
+[[nodiscard]] std::string to_string(SimTime t);
+[[nodiscard]] std::string to_string(Bytes b);
+[[nodiscard]] std::string to_string(ByteRate r);
+[[nodiscard]] std::string to_string(Money m);
+
+}  // namespace sage

@@ -1,0 +1,81 @@
+#include "core/introspection.hpp"
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace sage::core {
+
+std::string IntrospectionReport::render() const {
+  return "== Link service levels ==\n" + link_service_levels +
+         "\n== Compute health ==\n" + compute_health + "\n== Bill ==\n" + bill +
+         "\n== Decision audit ==\n" + decision_audit;
+}
+
+IntrospectionReport introspect(SageEngine& engine) {
+  IntrospectionReport report;
+  auto& monitoring = engine.monitoring();
+  const auto& regions = engine.config().regions;
+
+  {
+    TextTable t({"Link", "Mean MB/s", "Sigma", "Samples", "p5", "p50", "p95"});
+    for (cloud::Region a : regions) {
+      for (cloud::Region b : regions) {
+        if (a == b) continue;
+        const monitor::LinkEstimate est = monitoring.estimate(a, b);
+        if (!est.ready()) continue;
+        SampleSet window;
+        for (const monitor::Sample& s : monitoring.history(a, b)) window.add(s.mbps);
+        const bool has_history = window.count() > 0;
+        t.add_row({std::string(cloud::region_code(a)) + "->" +
+                       std::string(cloud::region_code(b)),
+                   TextTable::num(est.mean_mbps, 2), TextTable::num(est.stddev_mbps, 2),
+                   std::to_string(est.samples),
+                   has_history ? TextTable::num(window.quantile(0.05), 2) : "-",
+                   has_history ? TextTable::num(window.quantile(0.5), 2) : "-",
+                   has_history ? TextTable::num(window.quantile(0.95), 2) : "-"});
+      }
+    }
+    report.link_service_levels = t.render();
+  }
+
+  {
+    TextTable t({"Region", "CPU factor"});
+    for (cloud::Region r : regions) {
+      t.add_row({std::string(cloud::region_name(r)),
+                 TextTable::num(monitoring.cpu_estimate(r), 3)});
+    }
+    report.compute_health = t.render();
+  }
+
+  {
+    const cloud::CostReport bill = engine.cost();
+    TextTable t({"Item", "Charge"});
+    t.add_row({"VM leases", to_string(bill.vm_lease)});
+    t.add_row({"WAN egress", to_string(bill.egress)});
+    t.add_row({"Blob capacity", to_string(bill.blob_storage)});
+    t.add_row({"Blob transactions", to_string(bill.blob_transactions)});
+    t.add_row({"Total", to_string(bill.total())});
+    report.bill = t.render();
+  }
+
+  {
+    TextTable t({"#", "Route", "Size", "Lanes", "Replans", "Predicted", "Achieved",
+                 "Retrans", "OK"});
+    int i = 0;
+    for (const SendRecord& rec : engine.history()) {
+      t.add_row({std::to_string(i++),
+                 std::string(cloud::region_code(rec.src)) + "->" +
+                     std::string(cloud::region_code(rec.dst)),
+                 to_string(rec.size), std::to_string(rec.lanes_used),
+                 std::to_string(rec.replans),
+                 rec.estimate ? to_string(rec.estimate->time) : "-",
+                 to_string(rec.elapsed), std::to_string(rec.stats.retransmissions),
+                 rec.ok ? "yes" : "NO"});
+    }
+    report.decision_audit =
+        t.row_count() > 0 ? t.render() : std::string("(no transfers yet)\n");
+  }
+  return report;
+}
+
+}  // namespace sage::core

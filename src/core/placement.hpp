@@ -1,0 +1,26 @@
+// Operator placement policy.
+//
+// SAGE's placement rule is locality-first: an analysis operator whose
+// inputs all originate on one site runs on that site (shrinking the data
+// before it crosses the WAN); any operator that merges streams from
+// several sites runs at the designated aggregation site. Sources and sinks
+// keep their user-pinned locations.
+#pragma once
+
+#include "cloud/region.hpp"
+#include "stream/graph.hpp"
+
+namespace sage::core {
+
+/// Re-pin every operator vertex of `graph` per the locality-first rule.
+/// Vertices are visited in topological order so placement propagates
+/// through operator chains.
+void auto_place(stream::JobGraph& graph, cloud::Region aggregation_site);
+
+/// Estimated WAN bytes per second the graph ships, given per-source rates —
+/// the quantity auto_place minimizes. Exposed for tests and placement
+/// ablations: records crossing each inter-site edge count their wire size.
+[[nodiscard]] double estimate_wan_bytes_per_sec(const stream::JobGraph& graph,
+                                                double reduction_factor = 0.1);
+
+}  // namespace sage::core

@@ -1,0 +1,50 @@
+#include "model/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace sage::model {
+
+CostModel::CostModel(cloud::PricingModel pricing, ModelParams params)
+    : pricing_(pricing), params_(params) {
+  SAGE_CHECK(params.parallel_gain > 0.0 && params.parallel_gain <= 1.0);
+  SAGE_CHECK(params.intrusiveness > 0.0 && params.intrusiveness <= 1.0);
+  SAGE_CHECK(params.risk >= 0.0);
+  SAGE_CHECK(params.vm_cpu_share >= 0.0 && params.vm_cpu_share <= 1.0);
+}
+
+double CostModel::speedup(int nodes) const {
+  SAGE_CHECK(nodes >= 1);
+  return 1.0 + static_cast<double>(nodes - 1) * params_.parallel_gain;
+}
+
+ByteRate CostModel::effective_throughput(const monitor::LinkEstimate& link) const {
+  const double mbps =
+      std::max(link.mean_mbps - params_.risk * link.stddev_mbps, 0.05 * link.mean_mbps);
+  return ByteRate::mb_per_sec(std::max(mbps, 1e-3));
+}
+
+SimDuration CostModel::predict_time(Bytes size, ByteRate per_flow, int nodes) const {
+  SAGE_CHECK(size > Bytes::zero());
+  SAGE_CHECK(per_flow.bytes_per_second() > 0.0);
+  return per_flow.time_for(size) / speedup(nodes);
+}
+
+TransferEstimate CostModel::estimate(Bytes size, const monitor::LinkEstimate& link,
+                                     int nodes, cloud::VmSize vm_size, cloud::Region src,
+                                     cloud::Region dst) const {
+  TransferEstimate e;
+  e.nodes = nodes;
+  e.time = predict_time(size, effective_throughput(link), nodes);
+  // Each of the n nodes is billed for the transfer's duration, scaled by
+  // how much of the machine the transfer is allowed to use.
+  const Money vm_total = pricing_.vm_lease(vm_size, e.time) *
+                         (static_cast<double>(nodes) * params_.intrusiveness);
+  e.vm_cpu_cost = vm_total * params_.vm_cpu_share;
+  e.vm_bandwidth_cost = vm_total - e.vm_cpu_cost;
+  e.egress_cost = pricing_.egress(src, dst, size);
+  return e;
+}
+
+}  // namespace sage::model

@@ -1,0 +1,85 @@
+// Cost/time tradeoff solvers.
+//
+// Applications state their efficiency requirement one of three ways and the
+// solver returns the resource count (parallel sender nodes) to provision:
+//
+//   * a budget cap        -> the largest n whose predicted cost fits;
+//   * a deadline          -> the cheapest n whose predicted time fits;
+//   * a blend knob λ∈[0,1] -> minimize (1−λ)·normalized_time + λ·normalized
+//     cost over n (λ=0: pure speed, λ=1: pure thrift);
+//
+// plus a knee finder: the n after which a further node buys less time than
+// it adds cost (scaled by each axis' range) — the "maximum time reduction
+// for minimum cost" point the evaluation singles out.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "model/cost_model.hpp"
+
+namespace sage::model {
+
+/// How an application constrains a transfer.
+struct Tradeoff {
+  /// Hard ceiling on total transfer cost (Money::max() = unconstrained).
+  Money budget = Money::max();
+  /// Hard ceiling on transfer time (SimDuration::max() = unconstrained).
+  SimDuration deadline = SimDuration::max();
+  /// Blend preference used when neither cap binds (0 = fastest, 1 = cheapest).
+  double lambda = 0.0;
+
+  [[nodiscard]] static Tradeoff fastest() { return Tradeoff{}; }
+  [[nodiscard]] static Tradeoff cheapest() {
+    return Tradeoff{Money::max(), SimDuration::max(), 1.0};
+  }
+  [[nodiscard]] static Tradeoff within_budget(Money b) {
+    return Tradeoff{b, SimDuration::max(), 0.0};
+  }
+  [[nodiscard]] static Tradeoff by_deadline(SimDuration d) {
+    return Tradeoff{Money::max(), d, 1.0};
+  }
+};
+
+struct TradeoffInputs {
+  Bytes size;
+  monitor::LinkEstimate link;
+  cloud::VmSize vm_size = cloud::VmSize::kSmall;
+  cloud::Region src = cloud::Region::kNorthEU;
+  cloud::Region dst = cloud::Region::kNorthUS;
+  /// Largest node count the deployment can offer.
+  int max_nodes = 16;
+};
+
+class TradeoffSolver {
+ public:
+  explicit TradeoffSolver(const CostModel& model) : model_(model) {}
+
+  /// Predicted estimates for n = 1..max_nodes (the efficiency frontier).
+  [[nodiscard]] std::vector<TransferEstimate> frontier(const TradeoffInputs& in) const;
+
+  /// The paper's Model.GetNodes(budget): largest n with cost <= budget.
+  /// Returns 1 even when the budget cannot be met (the transfer must run;
+  /// `fits_budget` on the result tells the caller it is over).
+  [[nodiscard]] TransferEstimate nodes_for_budget(const TradeoffInputs& in,
+                                                  Money budget) const;
+
+  /// Cheapest configuration meeting the deadline, or nullopt if even
+  /// max_nodes misses it.
+  [[nodiscard]] std::optional<TransferEstimate> nodes_for_deadline(
+      const TradeoffInputs& in, SimDuration deadline) const;
+
+  /// Knee of the frontier: the n with the best time-saved per cost-added
+  /// ratio (both axes normalized to their frontier range).
+  [[nodiscard]] TransferEstimate knee(const TradeoffInputs& in) const;
+
+  /// Resolve a full Tradeoff: apply caps first, then the λ blend among the
+  /// configurations that satisfy every cap.
+  [[nodiscard]] TransferEstimate resolve(const TradeoffInputs& in,
+                                         const Tradeoff& tradeoff) const;
+
+ private:
+  const CostModel& model_;
+};
+
+}  // namespace sage::model

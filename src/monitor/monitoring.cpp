@@ -1,0 +1,199 @@
+#include "monitor/monitoring.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace sage::monitor {
+
+MonitoringService::MonitoringService(cloud::CloudProvider& provider, MonitorConfig config)
+    : provider_(provider), engine_(provider.engine()), config_(config) {}
+
+MonitoringService::~MonitoringService() { *alive_ = false; }
+
+void MonitoringService::register_agent(cloud::Region region, cloud::VmId vm) {
+  SAGE_CHECK_MSG(provider_.is_active(vm), "agent VM must be active");
+  SAGE_CHECK_MSG(provider_.vm(vm).region == region, "agent VM must live in its region");
+  agents_[cloud::region_index(region)] = vm;
+
+  auto& cpu = cpu_[cloud::region_index(region)];
+  if (!cpu) cpu = make_estimator(config_.kind, config_.estimator);
+  maybe_create_pairs();
+}
+
+void MonitoringService::maybe_create_pairs() {
+  for (cloud::Region a : cloud::kAllRegions) {
+    for (cloud::Region b : cloud::kAllRegions) {
+      if (a == b) continue;
+      if (!agents_[cloud::region_index(a)] || !agents_[cloud::region_index(b)]) continue;
+      const bool exists = std::any_of(
+          links_.begin(), links_.end(),
+          [&](const auto& l) { return l->src == a && l->dst == b; });
+      if (exists) continue;
+      auto link = std::make_unique<LinkMonitor>();
+      link->src = a;
+      link->dst = b;
+      link->estimator = make_estimator(config_.kind, config_.estimator);
+      LinkMonitor* raw = link.get();
+      link->task = std::make_unique<sim::PeriodicTask>(
+          engine_, config_.probe_interval, [this, raw] { probe_link(*raw); });
+      links_.push_back(std::move(link));
+      if (running_) {
+        // Stagger: start this pair's cadence offset by its index so probes
+        // spread evenly over the interval instead of bursting together.
+        const auto k = links_.size() - 1;
+        const SimDuration offset =
+            config_.probe_interval * (static_cast<double>(k % 16) / 16.0);
+        auto alive = alive_;
+        sim::PeriodicTask* task = links_.back()->task.get();
+        engine_.schedule_after(offset, [alive, task] {
+          if (*alive) task->start();
+        });
+      }
+    }
+  }
+}
+
+void MonitoringService::start() {
+  if (running_) return;
+  running_ = true;
+  std::size_t k = 0;
+  for (auto& link : links_) {
+    const SimDuration offset =
+        config_.probe_interval * (static_cast<double>(k++ % 16) / 16.0);
+    auto alive = alive_;
+    sim::PeriodicTask* task = link->task.get();
+    engine_.schedule_after(offset, [alive, task] {
+      if (*alive) task->start();
+    });
+  }
+  for (cloud::Region r : cloud::kAllRegions) {
+    if (!agents_[cloud::region_index(r)]) continue;
+    cpu_tasks_.push_back(std::make_unique<sim::PeriodicTask>(
+        engine_, config_.cpu_probe_interval, [this, r] { run_cpu_probe(r); }));
+    cpu_tasks_.back()->start();
+  }
+}
+
+void MonitoringService::stop() {
+  running_ = false;
+  for (auto& link : links_) link->task->stop();
+  for (auto& task : cpu_tasks_) task->stop();
+  cpu_tasks_.clear();
+}
+
+void MonitoringService::probe_link(LinkMonitor& link) {
+  if (link.probe_in_flight) return;  // previous probe still running
+  const auto src_vm = agents_[cloud::region_index(link.src)];
+  const auto dst_vm = agents_[cloud::region_index(link.dst)];
+  if (!src_vm || !dst_vm) return;
+  if (!provider_.is_active(*src_vm) || !provider_.is_active(*dst_vm)) return;
+
+  if (config_.suspend_when_busy &&
+      provider_.fabric().pair_flow_count(link.src, link.dst) > 0) {
+    // The link is carrying real transfers; their achieved rates arrive via
+    // report_transfer_observation instead, for free.
+    ++probes_suspended_;
+    return;
+  }
+
+  link.probe_in_flight = true;
+  ++probes_sent_;
+  auto alive = alive_;
+  LinkMonitor* raw = &link;
+  provider_.transfer(
+      *src_vm, *dst_vm, config_.probe_size, cloud::FlowOptions{},
+      [this, alive, raw](const cloud::FlowResult& r) {
+        if (!*alive) return;
+        raw->probe_in_flight = false;
+        if (!r.ok()) return;
+        ingest(*raw, r.achieved_rate().to_mb_per_sec());
+      });
+}
+
+void MonitoringService::ingest(LinkMonitor& link, double mbps) {
+  link.estimator->add_sample(engine_.now(), mbps);
+  if (config_.history_capacity > 0) {
+    link.history.push_back(Sample{engine_.now(), mbps});
+    if (link.history.size() > config_.history_capacity) link.history.pop_front();
+  }
+  if (hook_) hook_(link.src, link.dst, engine_.now(), mbps);
+}
+
+std::vector<Sample> MonitoringService::history(cloud::Region src, cloud::Region dst) const {
+  for (const auto& link : links_) {
+    if (link->src == src && link->dst == dst) {
+      return std::vector<Sample>(link->history.begin(), link->history.end());
+    }
+  }
+  return {};
+}
+
+std::size_t MonitoringService::export_history_csv(std::ostream& out) const {
+  out << "src,dst,time_s,mbps\n";
+  std::size_t rows = 0;
+  for (const auto& link : links_) {
+    for (const Sample& s : link->history) {
+      out << cloud::region_code(link->src) << ',' << cloud::region_code(link->dst)
+          << ',' << s.at.to_seconds() << ',' << s.mbps << '\n';
+      ++rows;
+    }
+  }
+  return rows;
+}
+
+void MonitoringService::run_cpu_probe(cloud::Region region) {
+  const auto vm = agents_[cloud::region_index(region)];
+  if (!vm || !provider_.is_active(*vm)) return;
+  // The arithmetic benchmark's score is the VM's current compute factor.
+  const double factor = provider_.vm_cpu_factor(*vm);
+  cpu_[cloud::region_index(region)]->add_sample(engine_.now(), factor);
+}
+
+void MonitoringService::report_transfer_observation(cloud::Region src, cloud::Region dst,
+                                                    ByteRate per_flow) {
+  if (src == dst) return;
+  for (auto& link : links_) {
+    if (link->src == src && link->dst == dst) {
+      ingest(*link, per_flow.to_mb_per_sec());
+      return;
+    }
+  }
+}
+
+LinkEstimate MonitoringService::estimate(cloud::Region src, cloud::Region dst) const {
+  for (const auto& link : links_) {
+    if (link->src == src && link->dst == dst) {
+      return LinkEstimate{link->estimator->mean(), link->estimator->stddev(),
+                          link->estimator->sample_count()};
+    }
+  }
+  return LinkEstimate{};
+}
+
+ThroughputMatrix MonitoringService::snapshot() const {
+  ThroughputMatrix m;
+  m.taken_at = engine_.now();
+  for (const auto& link : links_) {
+    m.links[cloud::region_index(link->src)][cloud::region_index(link->dst)] =
+        LinkEstimate{link->estimator->mean(), link->estimator->stddev(),
+                     link->estimator->sample_count()};
+  }
+  return m;
+}
+
+double MonitoringService::cpu_estimate(cloud::Region region) const {
+  const auto& est = cpu_[cloud::region_index(region)];
+  if (!est || !est->ready()) return 1.0;
+  return est->mean();
+}
+
+Estimator* MonitoringService::link_estimator(cloud::Region src, cloud::Region dst) {
+  for (auto& link : links_) {
+    if (link->src == src && link->dst == dst) return link->estimator.get();
+  }
+  return nullptr;
+}
+
+}  // namespace sage::monitor

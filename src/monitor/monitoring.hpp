@@ -1,0 +1,155 @@
+// The Monitoring Agent service: a continuously updated, environment-aware
+// map of the multi-site cloud.
+//
+// One agent VM is registered per region; the service then probes every
+// directed region pair at a configurable interval (staggered so probes do
+// not synchronize) by timing a real transfer between the agent VMs — an
+// iperf-style active measurement that exercises exactly the path real
+// transfers take. Samples feed per-link estimators (WSI by default).
+//
+// Intrusiveness throttle: while a link carries live transfer flows, active
+// probes on it are suspended and the service instead ingests throughput
+// observations reported by the transfer layer itself (the achieved per-flow
+// rate *is* a sample, and a free one).
+//
+// CPU agents: each registered agent VM also runs a periodic arithmetic
+// benchmark whose result tracks the VM's multi-tenant compute factor.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cloud/provider.hpp"
+#include "monitor/estimator.hpp"
+#include "simcore/engine.hpp"
+
+namespace sage::monitor {
+
+struct LinkEstimate {
+  double mean_mbps = 0.0;
+  double stddev_mbps = 0.0;
+  std::size_t samples = 0;
+
+  [[nodiscard]] ByteRate mean_rate() const { return ByteRate::mb_per_sec(mean_mbps); }
+  [[nodiscard]] bool ready() const { return samples > 0; }
+};
+
+/// Snapshot of all directed inter-region estimates (the "online map").
+struct ThroughputMatrix {
+  std::array<std::array<LinkEstimate, cloud::kRegionCount>, cloud::kRegionCount> links{};
+  SimTime taken_at;
+
+  [[nodiscard]] const LinkEstimate& at(cloud::Region src, cloud::Region dst) const {
+    return links[cloud::region_index(src)][cloud::region_index(dst)];
+  }
+};
+
+/// One recorded measurement (kept in the per-link history ring).
+struct Sample {
+  SimTime at;
+  double mbps = 0.0;
+};
+
+struct MonitorConfig {
+  EstimatorKind kind = EstimatorKind::kWeighted;
+  EstimatorConfig estimator;
+  /// Interval between probes of the same link.
+  SimDuration probe_interval = SimDuration::minutes(5);
+  /// Payload of one bandwidth probe.
+  Bytes probe_size = Bytes::mb(8);
+  /// Interval between CPU benchmarks on each agent VM.
+  SimDuration cpu_probe_interval = SimDuration::minutes(2);
+  /// Suspend active probes while the link carries transfer flows.
+  bool suspend_when_busy = true;
+  /// Samples retained per link for profiling / introspection (the "tracked
+  /// logs" scientists use to understand their cloud application and the
+  /// base of the self-healing loop). 0 disables history.
+  std::size_t history_capacity = 2048;
+};
+
+class MonitoringService {
+ public:
+  /// Callback fired for every accepted bandwidth sample (experiments hook
+  /// this to record traces): (src, dst, time, MB/s).
+  using SampleHook =
+      std::function<void(cloud::Region, cloud::Region, SimTime, double)>;
+
+  MonitoringService(cloud::CloudProvider& provider, MonitorConfig config);
+  ~MonitoringService();
+  MonitoringService(const MonitoringService&) = delete;
+  MonitoringService& operator=(const MonitoringService&) = delete;
+
+  /// Register the VM hosting the monitoring agent in `region`. Probing of a
+  /// pair begins once both of its endpoints have agents.
+  void register_agent(cloud::Region region, cloud::VmId vm);
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Feedback path from the transfer layer: the achieved per-flow rate of a
+  /// live wide-area transfer, ingested as a sample at the current time.
+  void report_transfer_observation(cloud::Region src, cloud::Region dst,
+                                   ByteRate per_flow);
+
+  [[nodiscard]] LinkEstimate estimate(cloud::Region src, cloud::Region dst) const;
+  [[nodiscard]] ThroughputMatrix snapshot() const;
+
+  /// Estimated CPU factor of the agent VM in `region` (nominal 1.0).
+  [[nodiscard]] double cpu_estimate(cloud::Region region) const;
+
+  void set_sample_hook(SampleHook hook) { hook_ = std::move(hook); }
+
+  /// Recorded samples for a link, oldest first (empty when unmonitored or
+  /// history is disabled).
+  [[nodiscard]] std::vector<Sample> history(cloud::Region src, cloud::Region dst) const;
+
+  /// Dump every link's recorded history as CSV
+  /// (src,dst,time_seconds,mbps) — the tracked log scientists use to
+  /// profile their cloud application offline. Returns rows written.
+  std::size_t export_history_csv(std::ostream& out) const;
+
+  /// Direct estimator access for experiments (may be nullptr before any
+  /// agent pair exists). Non-owning.
+  [[nodiscard]] Estimator* link_estimator(cloud::Region src, cloud::Region dst);
+
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+  [[nodiscard]] std::uint64_t probes_suspended() const { return probes_suspended_; }
+
+ private:
+  struct LinkMonitor {
+    cloud::Region src;
+    cloud::Region dst;
+    std::unique_ptr<Estimator> estimator;
+    std::unique_ptr<sim::PeriodicTask> task;
+    std::deque<Sample> history;
+    bool probe_in_flight = false;
+  };
+
+  void maybe_create_pairs();
+  void probe_link(LinkMonitor& link);
+  void run_cpu_probe(cloud::Region region);
+  /// Common ingestion for probe results and transfer observations: feeds
+  /// the estimator, the history ring and the sample hook.
+  void ingest(LinkMonitor& link, double mbps);
+
+  cloud::CloudProvider& provider_;
+  sim::SimEngine& engine_;
+  MonitorConfig config_;
+  std::array<std::optional<cloud::VmId>, cloud::kRegionCount> agents_;
+  std::vector<std::unique_ptr<LinkMonitor>> links_;
+  std::array<std::unique_ptr<Estimator>, cloud::kRegionCount> cpu_;
+  std::vector<std::unique_ptr<sim::PeriodicTask>> cpu_tasks_;
+  SampleHook hook_;
+  bool running_ = false;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t probes_suspended_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace sage::monitor

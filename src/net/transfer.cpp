@@ -1,0 +1,318 @@
+#include "net/transfer.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/hash.hpp"
+
+namespace sage::net {
+
+std::vector<Lane> direct_lane(cloud::VmId src, cloud::VmId dst) {
+  return {Lane{{src, dst}}};
+}
+
+GeoTransfer::GeoTransfer(cloud::CloudProvider& provider, Bytes size, std::vector<Lane> lanes,
+                         TransferConfig config, CompletionFn on_done)
+    : provider_(provider),
+      engine_(provider.engine()),
+      size_(size),
+      config_(config),
+      on_done_(std::move(on_done)) {
+  SAGE_CHECK(size > Bytes::zero());
+  SAGE_CHECK(config_.chunk_size > Bytes::zero());
+  SAGE_CHECK(config_.streams_per_hop > 0);
+  SAGE_CHECK(config_.intrusiveness > 0.0 && config_.intrusiveness <= 1.0);
+  SAGE_CHECK(config_.max_attempts > 0);
+  SAGE_CHECK(on_done_ != nullptr);
+  SAGE_CHECK_MSG(!lanes.empty(), "a transfer needs at least one lane");
+
+  // Fragmentation: equal chunks, last one carries the remainder.
+  const std::int64_t chunk = config_.chunk_size.count();
+  const std::int64_t n = (size.count() + chunk - 1) / chunk;
+  chunks_.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t lo = i * chunk;
+    const std::int64_t hi = std::min(lo + chunk, size.count());
+    chunks_[static_cast<std::size_t>(i)].size = Bytes::of(hi - lo);
+    chunks_[static_cast<std::size_t>(i)].hash =
+        hash_combine(hash_u64(static_cast<std::uint64_t>(i)),
+                     hash_u64(static_cast<std::uint64_t>(hi - lo)));
+  }
+  stats_.chunks_total = static_cast<int>(n);
+  reset_lanes(std::move(lanes));
+}
+
+GeoTransfer::~GeoTransfer() { *alive_ = false; }
+
+void GeoTransfer::reset_lanes(std::vector<Lane> lanes) {
+  SAGE_CHECK(!lanes.empty());
+  const cloud::VmId src = lanes.front().path.front();
+  const cloud::VmId dst = lanes.front().path.back();
+
+  // Retire the current lane set. Chunks parked at relay queues restart
+  // from the source; chunks already flying complete (or fail) against the
+  // retired state and are routed onward by their own callbacks.
+  for (auto& old : lanes_) {
+    old->dead = true;
+    old->retired = true;
+    drain_waiting(*old);
+  }
+  lanes_.clear();
+
+  for (Lane& lane : lanes) {
+    SAGE_CHECK_MSG(lane.path.size() >= 2, "lane path needs at least src and dst");
+    SAGE_CHECK_MSG(lane.path.front() == src && lane.path.back() == dst,
+                   "all lanes must share the transfer's endpoints");
+    auto state = std::make_shared<LaneState>();
+    state->hops.resize(lane.path.size() - 1);
+    for (HopState& hop : state->hops) hop.free_slots = config_.streams_per_hop;
+    state->lane = std::move(lane);
+    lanes_.push_back(std::move(state));
+  }
+  if (running_) pump();
+}
+
+const std::vector<Bytes>& GeoTransfer::lane_bytes() const {
+  lane_bytes_.clear();
+  for (const auto& lane : lanes_) lane_bytes_.push_back(lane->bytes_delivered);
+  return lane_bytes_;
+}
+
+void GeoTransfer::start() {
+  SAGE_CHECK_MSG(!running_ && !finished_, "start() is one-shot");
+  running_ = true;
+  started_ = engine_.now();
+  for (int c = 0; c < stats_.chunks_total; ++c) pool_.push_back(c);
+  pump();
+}
+
+void GeoTransfer::cancel() {
+  if (finished_) return;
+  finish(false);
+}
+
+Bytes GeoTransfer::delivered() const { return delivered_bytes_; }
+
+SimDuration GeoTransfer::chunk_timeout() const {
+  // Expected service time at a conservative 1 MB/s floor rate.
+  const SimDuration expected =
+      ByteRate::mb_per_sec(1.0).time_for(config_.chunk_size) * config_.timeout_factor;
+  return std::max(expected, config_.timeout_floor);
+}
+
+cloud::FlowOptions GeoTransfer::hop_flow_options(cloud::VmId sender) const {
+  cloud::FlowOptions options;
+  const ByteRate nic = cloud::vm_spec(provider_.vm(sender).size).nic;
+  options.demand_cap =
+      nic * (config_.intrusiveness / static_cast<double>(config_.streams_per_hop));
+  return options;
+}
+
+void GeoTransfer::pump() {
+  if (!running_ || finished_) return;
+  // Relay hops drain their own queues first, then first hops drain the
+  // shared pool round-robin across lanes.
+  for (auto& lane : lanes_) {
+    if (lane->dead) continue;
+    for (std::size_t h = 1; h < lane->hops.size(); ++h) pump_hop(lane, h);
+  }
+  bool progress = true;
+  while (progress && !pool_.empty()) {
+    progress = false;
+    for (auto& lane : lanes_) {
+      if (pool_.empty()) break;
+      const int pipeline_depth =
+          config_.streams_per_hop * static_cast<int>(lane->hops.size());
+      if (lane->dead || lane->hops[0].free_slots <= 0 ||
+          lane->in_lane >= pipeline_depth) {
+        continue;
+      }
+      const int chunk = pool_.front();
+      pool_.pop_front();
+      ChunkState& cs = chunks_[static_cast<std::size_t>(chunk)];
+      if (cs.delivered) continue;  // stale retransmit entry
+      ++cs.in_flight;
+      ++lane->in_lane;
+      arm_timeout(chunk);
+      send_hop(lane, chunk, 0);
+      progress = true;
+    }
+  }
+}
+
+void GeoTransfer::pump_hop(const std::shared_ptr<LaneState>& lane, std::size_t hop) {
+  HopState& state = lane->hops[hop];
+  while (state.free_slots > 0 && !state.waiting.empty()) {
+    const int chunk = state.waiting.front();
+    state.waiting.pop_front();
+    send_hop(lane, chunk, hop);
+  }
+}
+
+void GeoTransfer::send_hop(const std::shared_ptr<LaneState>& lane, int chunk,
+                           std::size_t hop) {
+  const cloud::VmId sender = lane->lane.path[hop];
+  const cloud::VmId receiver = lane->lane.path[hop + 1];
+  if (!provider_.is_active(sender) || !provider_.is_active(receiver)) {
+    ++stats_.hop_failures;
+    --chunks_[static_cast<std::size_t>(chunk)].in_flight;
+    --lane->in_lane;
+    kill_lane(*lane);
+    requeue(chunk, /*count_attempt=*/true);
+    pump();
+    return;
+  }
+
+  --lane->hops[hop].free_slots;
+  const Bytes size = chunks_[static_cast<std::size_t>(chunk)].size;
+  auto alive = alive_;
+  const cloud::FlowId fid = provider_.transfer(
+      sender, receiver, size, hop_flow_options(sender),
+      [this, alive, lane, chunk, hop](const cloud::FlowResult& r) {
+        if (!*alive) return;
+        std::erase(active_flows_, r.id);
+        if (finished_) return;
+        ++lane->hops[hop].free_slots;
+        if (!r.ok()) {
+          ++stats_.hop_failures;
+          --chunks_[static_cast<std::size_t>(chunk)].in_flight;
+          --lane->in_lane;
+          if (!lane->retired) kill_lane(*lane);
+          requeue(chunk, /*count_attempt=*/true);
+          pump();
+          return;
+        }
+        if (hop + 1 == lane->lane.path.size() - 1) {
+          on_delivered(*lane, chunk);
+        } else if (!lane->dead) {
+          lane->hops[hop + 1].waiting.push_back(chunk);
+          pump_hop(lane, hop + 1);
+        } else {
+          // Lane died (or was retired) while the chunk was mid-flight:
+          // resend from the source through the live lane set. Not a
+          // failure of the chunk itself, so it costs no attempt.
+          --chunks_[static_cast<std::size_t>(chunk)].in_flight;
+          --lane->in_lane;
+          requeue(chunk, /*count_attempt=*/false);
+        }
+        pump();
+      });
+  active_flows_.push_back(fid);
+}
+
+void GeoTransfer::arm_timeout(int chunk) {
+  if (!config_.acknowledgements) return;
+  auto alive = alive_;
+  // Exponential backoff across attempts: under heavy congestion every
+  // chunk is slow, and retransmitting on a fixed deadline only adds load —
+  // the classic self-sustaining timeout storm. Each failed attempt doubles
+  // the patience.
+  const int shift =
+      std::min(chunks_[static_cast<std::size_t>(chunk)].attempts, 4);
+  engine_.schedule_after(chunk_timeout() * static_cast<double>(1 << shift),
+                         [this, alive, chunk] {
+    if (!*alive || finished_) return;
+    ChunkState& cs = chunks_[static_cast<std::size_t>(chunk)];
+    const bool settled = config_.acknowledgements ? cs.acked : cs.delivered;
+    if (settled) return;
+    ++stats_.retransmissions;
+    requeue(chunk, /*count_attempt=*/true);
+    pump();
+  });
+}
+
+void GeoTransfer::on_delivered(LaneState& lane, int chunk) {
+  ChunkState& cs = chunks_[static_cast<std::size_t>(chunk)];
+  --cs.in_flight;
+  --lane.in_lane;
+  if (cs.delivered) {
+    // A retransmitted copy raced the original and lost: receiver dedup by
+    // chunk hash drops it.
+    ++stats_.duplicates_dropped;
+    return;
+  }
+  cs.delivered = true;
+  ++stats_.chunks_delivered;
+  delivered_bytes_ += cs.size;
+  lane.bytes_delivered += cs.size;
+
+  if (!config_.acknowledgements) {
+    ++completed_;
+    maybe_finish();
+    return;
+  }
+  // End-to-end acknowledgement: one-way control message back to the source.
+  const cloud::VmId src = lane.lane.path.front();
+  const cloud::VmId dst = lane.lane.path.back();
+  const SimDuration ack_latency =
+      provider_.rtt(provider_.vm(dst).region, provider_.vm(src).region) / 2.0;
+  auto alive = alive_;
+  engine_.schedule_after(ack_latency, [this, alive, chunk] {
+    if (!*alive || finished_) return;
+    ChunkState& state = chunks_[static_cast<std::size_t>(chunk)];
+    if (state.acked) return;
+    state.acked = true;
+    ++completed_;
+    maybe_finish();
+  });
+}
+
+void GeoTransfer::drain_waiting(LaneState& lane) {
+  for (std::size_t h = 1; h < lane.hops.size(); ++h) {
+    for (int chunk : lane.hops[h].waiting) {
+      --chunks_[static_cast<std::size_t>(chunk)].in_flight;
+      --lane.in_lane;
+      requeue(chunk, /*count_attempt=*/false);
+    }
+    lane.hops[h].waiting.clear();
+  }
+}
+
+void GeoTransfer::kill_lane(LaneState& lane) {
+  if (lane.dead) return;
+  lane.dead = true;
+  drain_waiting(lane);
+  // If every current lane is dead and work remains, the transfer cannot
+  // finish. Retired lanes do not count: a reset always installs live ones.
+  const bool any_alive =
+      std::any_of(lanes_.begin(), lanes_.end(),
+                  [](const auto& l) { return !l->dead; });
+  if (!any_alive && completed_ < stats_.chunks_total) finish(false);
+}
+
+void GeoTransfer::requeue(int chunk, bool count_attempt) {
+  ChunkState& cs = chunks_[static_cast<std::size_t>(chunk)];
+  if (cs.delivered) return;
+  // `attempts` counts failure-driven resends (hop failures, timeouts);
+  // lane retirement during adaptation requeues for free.
+  if (count_attempt) ++cs.attempts;
+  if (cs.attempts >= config_.max_attempts && cs.in_flight == 0) {
+    finish(false);
+    return;
+  }
+  if (cs.attempts >= config_.max_attempts) return;  // copies still in flight
+  pool_.push_back(chunk);
+}
+
+void GeoTransfer::maybe_finish() {
+  if (completed_ >= stats_.chunks_total) finish(true);
+}
+
+void GeoTransfer::finish(bool ok) {
+  if (finished_) return;
+  finished_ = true;
+  running_ = false;
+  for (const cloud::FlowId fid : std::vector<cloud::FlowId>(active_flows_)) {
+    provider_.fabric().cancel_flow(fid);
+  }
+  active_flows_.clear();
+  TransferResult result;
+  result.ok = ok;
+  result.size = ok ? size_ : delivered_bytes_;
+  result.started = started_;
+  result.finished = engine_.now();
+  result.stats = stats_;
+  on_done_(result);
+}
+
+}  // namespace sage::net

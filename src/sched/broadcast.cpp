@@ -1,0 +1,66 @@
+#include "sched/broadcast.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace sage::sched {
+
+std::vector<cloud::Region> BroadcastTree::children_of(cloud::Region site) const {
+  std::vector<cloud::Region> out;
+  for (const BroadcastEdge& e : edges) {
+    if (e.from == site) out.push_back(e.to);
+  }
+  return out;
+}
+
+double BroadcastTree::bottleneck_mbps() const {
+  double b = std::numeric_limits<double>::infinity();
+  for (const BroadcastEdge& e : edges) b = std::min(b, e.mbps);
+  return edges.empty() ? 0.0 : b;
+}
+
+BroadcastTree widest_tree(const monitor::ThroughputMatrix& matrix, cloud::Region root,
+                          const std::vector<cloud::Region>& targets) {
+  BroadcastTree tree;
+  tree.root = root;
+  SAGE_CHECK(!targets.empty());
+
+  // Member set: root plus targets (deduplicated, root excluded).
+  std::vector<cloud::Region> pending;
+  for (cloud::Region t : targets) {
+    if (t == root) continue;
+    if (std::find(pending.begin(), pending.end(), t) == pending.end()) {
+      pending.push_back(t);
+    }
+  }
+
+  // Prim with the widest-edge metric: repeatedly attach the pending site
+  // reachable through the widest edge from any already-covered site. Edges
+  // are appended in attachment order, which is exactly dissemination order.
+  std::vector<cloud::Region> covered = {root};
+  while (!pending.empty()) {
+    double best = 0.0;
+    std::size_t best_idx = pending.size();
+    cloud::Region best_from = root;
+    for (cloud::Region from : covered) {
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        const monitor::LinkEstimate& link = matrix.at(from, pending[i]);
+        if (!link.ready()) continue;
+        if (link.mean_mbps > best) {
+          best = link.mean_mbps;
+          best_idx = i;
+          best_from = from;
+        }
+      }
+    }
+    if (best_idx == pending.size()) return BroadcastTree{root, {}};  // no data
+    tree.edges.push_back(BroadcastEdge{best_from, pending[best_idx], best});
+    covered.push_back(pending[best_idx]);
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(best_idx));
+  }
+  return tree;
+}
+
+}  // namespace sage::sched

@@ -1,0 +1,47 @@
+// Dissemination (one-to-many) planning: the widest spanning tree.
+//
+// Replicating a dataset from one site to several others through naive
+// unicast makes the source's NIC and its WAN links carry every copy. The
+// dissemination planner instead builds a spanning tree over the monitored
+// throughput map — Prim's algorithm with the max-min (widest-edge) metric —
+// so already-served sites re-disseminate over their own, often faster,
+// regional links. Store-and-forward at each tree node keeps every transfer
+// a plain site-to-site send the rest of the engine already knows how to
+// optimize.
+#pragma once
+
+#include <vector>
+
+#include "sched/paths.hpp"
+
+namespace sage::sched {
+
+struct BroadcastEdge {
+  cloud::Region from;
+  cloud::Region to;
+  double mbps = 0.0;  // estimated edge throughput at planning time
+};
+
+struct BroadcastTree {
+  cloud::Region root;
+  /// Edges in dissemination order: an edge never appears before the edge
+  /// that delivers data to its `from` site.
+  std::vector<BroadcastEdge> edges;
+
+  [[nodiscard]] bool empty() const { return edges.empty(); }
+  /// Children fed directly by `site` in this tree.
+  [[nodiscard]] std::vector<cloud::Region> children_of(cloud::Region site) const;
+  /// The narrowest edge (the tree's predicted bottleneck).
+  [[nodiscard]] double bottleneck_mbps() const;
+};
+
+/// Widest spanning tree from `root` covering every region in `targets`
+/// (other regions may appear as relays only if they are targets — the tree
+/// spans exactly {root} ∪ targets, since store-and-forward needs a running
+/// gateway, which only member sites have). Returns an empty tree when the
+/// map lacks data for some target.
+[[nodiscard]] BroadcastTree widest_tree(const monitor::ThroughputMatrix& matrix,
+                                        cloud::Region root,
+                                        const std::vector<cloud::Region>& targets);
+
+}  // namespace sage::sched

@@ -1,0 +1,74 @@
+#include "sched/paths.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace sage::sched {
+
+std::optional<RegionPath> widest_path(const monitor::ThroughputMatrix& matrix,
+                                      cloud::Region src, cloud::Region dst,
+                                      const PathQueryOptions& options) {
+  SAGE_CHECK(src != dst);
+  constexpr std::size_t n = cloud::kRegionCount;
+  const std::size_t s = cloud::region_index(src);
+  const std::size_t d = cloud::region_index(dst);
+
+  auto edge = [&](std::size_t a, std::size_t b) -> double {
+    if (a == b) return 0.0;
+    if (options.exclude_direct_edge && a == s && b == d) return 0.0;
+    const monitor::LinkEstimate& e = matrix.links[a][b];
+    if (e.samples < options.min_samples) return 0.0;
+    return std::max(e.mean_mbps, 0.0);
+  };
+  auto allowed = [&](std::size_t v) {
+    return v == s || v == d || options.usable[v];
+  };
+
+  // Dijkstra on the max-min metric: width[v] = best bottleneck achievable
+  // from s to v. O(n^2) is instantaneous at n = 6.
+  std::array<double, n> width{};
+  std::array<int, n> prev{};
+  std::array<bool, n> done{};
+  prev.fill(-1);
+  width[s] = std::numeric_limits<double>::infinity();
+
+  for (std::size_t iter = 0; iter < n; ++iter) {
+    std::size_t u = n;
+    double best = 0.0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!done[v] && allowed(v) && width[v] > best) {
+        best = width[v];
+        u = v;
+      }
+    }
+    if (u == n) break;
+    done[u] = true;
+    if (u == d) break;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (done[v] || !allowed(v)) continue;
+      const double w = std::min(width[u], edge(u, v));
+      if (w > width[v]) {
+        width[v] = w;
+        prev[v] = static_cast<int>(u);
+      }
+    }
+  }
+
+  if (width[d] <= 0.0 || !std::isfinite(width[d])) return std::nullopt;
+
+  RegionPath path;
+  path.bottleneck_mbps = width[d];
+  std::vector<std::size_t> rev;
+  for (int v = static_cast<int>(d); v != -1; v = prev[static_cast<std::size_t>(v)]) {
+    rev.push_back(static_cast<std::size_t>(v));
+    if (static_cast<std::size_t>(v) == s) break;
+  }
+  SAGE_CHECK(rev.back() == s);
+  for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
+    path.regions.push_back(cloud::kAllRegions[*it]);
+  }
+  return path;
+}
+
+}  // namespace sage::sched

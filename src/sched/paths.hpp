@@ -1,0 +1,50 @@
+// Widest-path routing over the monitored throughput map.
+//
+// The "shortest path" of the geo-transfer literature is really the path of
+// maximum bottleneck throughput: Dijkstra with the min-throughput-so-far as
+// the path metric, maximized. The region graph is tiny (6 datacenters), so
+// the planner can afford to re-run this on every fresh monitoring snapshot
+// — that cheapness is exactly why the system's path selection works where a
+// full flow-graph formulation (needing continuous all-pairs, all-widths
+// monitoring) would not.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "cloud/region.hpp"
+#include "monitor/monitoring.hpp"
+
+namespace sage::sched {
+
+/// A region-level route. `regions` runs source .. destination inclusive;
+/// `bottleneck_mbps` is the minimum estimated edge throughput along it.
+struct RegionPath {
+  std::vector<cloud::Region> regions;
+  double bottleneck_mbps = 0.0;
+
+  [[nodiscard]] std::size_t hop_count() const { return regions.size() - 1; }
+  [[nodiscard]] std::size_t intermediate_count() const { return regions.size() - 2; }
+  [[nodiscard]] bool is_direct() const { return regions.size() == 2; }
+};
+
+struct PathQueryOptions {
+  /// Regions allowed as intermediates (src/dst are always allowed).
+  std::array<bool, cloud::kRegionCount> usable{};
+  /// Forbid the single-hop src->dst edge (used to find the *next* path when
+  /// the current best is the direct link).
+  bool exclude_direct_edge = false;
+  /// Edges with fewer samples than this are treated as unknown/unusable.
+  std::size_t min_samples = 1;
+
+  PathQueryOptions() { usable.fill(true); }
+};
+
+/// Maximum-bottleneck path from src to dst, or nullopt when no usable route
+/// exists under the options.
+[[nodiscard]] std::optional<RegionPath> widest_path(const monitor::ThroughputMatrix& matrix,
+                                                    cloud::Region src, cloud::Region dst,
+                                                    const PathQueryOptions& options = {});
+
+}  // namespace sage::sched

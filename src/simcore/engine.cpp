@@ -1,0 +1,92 @@
+#include "simcore/engine.hpp"
+
+#include "common/check.hpp"
+
+namespace sage::sim {
+
+void EventHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
+
+EventHandle SimEngine::schedule_at(SimTime t, Callback fn) {
+  SAGE_CHECK_MSG(t >= now_, "cannot schedule an event in the simulated past");
+  SAGE_CHECK(fn != nullptr);
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{t, next_seq_++, std::move(fn), cancelled});
+  return EventHandle{std::move(cancelled)};
+}
+
+EventHandle SimEngine::schedule_after(SimDuration delay, Callback fn) {
+  SAGE_CHECK_MSG(!delay.is_negative(), "negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool SimEngine::fire_next() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    // The handle's flag doubles as a "fired" marker so pending() turns false.
+    *ev.cancelled = true;
+    now_ = ev.at;
+    ++fired_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t SimEngine::run() {
+  std::uint64_t n = 0;
+  while (fire_next()) ++n;
+  return n;
+}
+
+std::uint64_t SimEngine::run_until(SimTime t) {
+  SAGE_CHECK(t >= now_);
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    // Skip cancelled events eagerly so they do not block the horizon test.
+    if (*queue_.top().cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().at > t) break;
+    if (fire_next()) ++n;
+  }
+  now_ = t;
+  return n;
+}
+
+bool SimEngine::step() { return fire_next(); }
+
+PeriodicTask::PeriodicTask(SimEngine& engine, SimDuration interval, SimEngine::Callback fn)
+    : engine_(engine), interval_(interval), fn_(std::move(fn)) {
+  SAGE_CHECK(interval_ > SimDuration::zero());
+  SAGE_CHECK(fn_ != nullptr);
+}
+
+PeriodicTask::~PeriodicTask() { stop(); }
+
+void PeriodicTask::start() {
+  if (running_) return;
+  running_ = true;
+  arm();
+}
+
+void PeriodicTask::stop() {
+  running_ = false;
+  next_.cancel();
+}
+
+void PeriodicTask::arm() {
+  next_ = engine_.schedule_after(interval_, [this] {
+    if (!running_) return;
+    fn_();
+    if (running_) arm();
+  });
+}
+
+}  // namespace sage::sim

@@ -1,0 +1,113 @@
+// Discrete-event simulation kernel.
+//
+// The whole SAGE reproduction executes on virtual time: the cloud fabric,
+// monitoring agents, transfer sessions and streaming operators all schedule
+// callbacks on one SimEngine. The engine is deliberately single-threaded —
+// determinism is a hard requirement for regenerating the paper tables — and
+// events with equal timestamps fire in scheduling order (FIFO tie-break via
+// a monotone sequence number).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace sage::sim {
+
+/// Handle used to cancel a scheduled event. Default-constructed handles are
+/// inert; cancelling an already-fired event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel();
+  [[nodiscard]] bool pending() const;
+
+ private:
+  friend class SimEngine;
+  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class SimEngine {
+ public:
+  using Callback = std::function<void()>;
+
+  SimEngine() = default;
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now()).
+  EventHandle schedule_at(SimTime t, Callback fn);
+
+  /// Schedule `fn` after a non-negative delay.
+  EventHandle schedule_after(SimDuration delay, Callback fn);
+
+  /// Run until the event queue drains. Returns the number of events fired.
+  std::uint64_t run();
+
+  /// Run all events with timestamp <= t, then advance the clock to t.
+  std::uint64_t run_until(SimTime t);
+
+  /// Fire exactly one event if any is pending. Returns false on empty queue.
+  bool step();
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool fire_next();
+
+  SimTime now_ = SimTime::epoch();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// Repeats a callback at a fixed interval until stopped. The first firing is
+/// one interval after start (matching a monitoring agent that needs a warmup
+/// period before its first sample).
+class PeriodicTask {
+ public:
+  PeriodicTask(SimEngine& engine, SimDuration interval, SimEngine::Callback fn);
+  ~PeriodicTask();
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+  void set_interval(SimDuration interval) { interval_ = interval; }
+  [[nodiscard]] SimDuration interval() const { return interval_; }
+
+ private:
+  void arm();
+
+  SimEngine& engine_;
+  SimDuration interval_;
+  SimEngine::Callback fn_;
+  EventHandle next_;
+  bool running_ = false;
+};
+
+}  // namespace sage::sim

@@ -1,0 +1,36 @@
+// Pluggable wide-area transfer backend for the streaming runtime.
+//
+// The runtime reduces every cross-site batch to a single question — "move
+// this many bytes from site A to site B, tell me when they arrive" — and
+// delegates it here. sage_core answers with the monitored, cost/time-aware
+// multi-path engine; sage_baselines answers with the comparison systems
+// (direct endpoint-to-endpoint, environment-oblivious parallel, blob-store
+// relay, static GridFTP-like transfers).
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "cloud/region.hpp"
+#include "common/units.hpp"
+
+namespace sage::stream {
+
+struct SendOutcome {
+  bool ok = false;
+  SimDuration elapsed;
+};
+
+class TransferBackend {
+ public:
+  using DoneFn = std::function<void(const SendOutcome&)>;
+
+  virtual ~TransferBackend() = default;
+
+  /// Move `size` bytes from `src` to `dst`; `done` fires exactly once.
+  virtual void send(cloud::Region src, cloud::Region dst, Bytes size, DoneFn done) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace sage::stream

@@ -1,0 +1,329 @@
+#include "stream/operator.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace sage::stream {
+
+MapOperator::MapOperator(std::string name, Fn fn, double cost)
+    : name_(std::move(name)), fn_(std::move(fn)), cost_(cost) {
+  SAGE_CHECK(fn_ != nullptr);
+  SAGE_CHECK(cost_ > 0.0);
+}
+
+void MapOperator::process(int port, const RecordBatch& in, RecordBatch& out) {
+  SAGE_CHECK_MSG(port == 0, "map has a single input port");
+  for (const Record& r : in.records()) out.add(fn_(r));
+}
+
+FilterOperator::FilterOperator(std::string name, Pred pred, double cost)
+    : name_(std::move(name)), pred_(std::move(pred)), cost_(cost) {
+  SAGE_CHECK(pred_ != nullptr);
+  SAGE_CHECK(cost_ > 0.0);
+}
+
+void FilterOperator::process(int port, const RecordBatch& in, RecordBatch& out) {
+  SAGE_CHECK_MSG(port == 0, "filter has a single input port");
+  for (const Record& r : in.records()) {
+    if (pred_(r)) out.add(r);
+  }
+}
+
+WindowAggregateOperator::WindowAggregateOperator(std::string name, SimDuration window,
+                                                 AggregateFn fn, Bytes output_record_size,
+                                                 double cost)
+    : name_(std::move(name)), window_(window), fn_(fn), out_size_(output_record_size),
+      cost_(cost) {
+  SAGE_CHECK(window > SimDuration::zero());
+  SAGE_CHECK(cost_ > 0.0);
+}
+
+void WindowAggregateOperator::process(int port, const RecordBatch& in, RecordBatch& out) {
+  SAGE_CHECK_MSG(port == 0, "window aggregate has a single input port");
+  (void)out;  // results are emitted on window close, not per batch
+  for (const Record& r : in.records()) {
+    auto [it, inserted] = state_.try_emplace(r.key);
+    KeyState& s = it->second;
+    if (inserted) {
+      s.min = s.max = r.value;
+      s.oldest_event = r.event_time;
+    } else {
+      s.min = std::min(s.min, r.value);
+      s.max = std::max(s.max, r.value);
+      if (r.event_time < s.oldest_event) s.oldest_event = r.event_time;
+    }
+    s.sum += r.value;
+    ++s.count;
+  }
+}
+
+void WindowAggregateOperator::on_timer(SimTime now, RecordBatch& out) {
+  (void)now;
+  for (const auto& [key, s] : state_) {
+    Record r;
+    r.key = key;
+    r.event_time = s.oldest_event;
+    r.wire_size = out_size_;
+    switch (fn_) {
+      case AggregateFn::kSum:
+        r.value = s.sum;
+        break;
+      case AggregateFn::kCount:
+        r.value = static_cast<double>(s.count);
+        break;
+      case AggregateFn::kMean:
+        r.value = s.sum / static_cast<double>(s.count);
+        break;
+      case AggregateFn::kMin:
+        r.value = s.min;
+        break;
+      case AggregateFn::kMax:
+        r.value = s.max;
+        break;
+    }
+    out.add(r);
+  }
+  state_.clear();
+}
+
+WindowJoinOperator::WindowJoinOperator(std::string name, SimDuration window,
+                                       Combiner combiner, Bytes output_record_size,
+                                       double cost)
+    : name_(std::move(name)), window_(window), combiner_(std::move(combiner)),
+      out_size_(output_record_size), cost_(cost) {
+  SAGE_CHECK(window > SimDuration::zero());
+  SAGE_CHECK(combiner_ != nullptr);
+  SAGE_CHECK(cost_ > 0.0);
+}
+
+void WindowJoinOperator::process(int port, const RecordBatch& in, RecordBatch& out) {
+  SAGE_CHECK_MSG(port == 0 || port == 1, "join has two input ports");
+  auto& own = (port == 0) ? left_ : right_;
+  auto& other = (port == 0) ? right_ : left_;
+  for (const Record& r : in.records()) {
+    // Probe the opposite side first, then insert.
+    auto it = other.find(r.key);
+    if (it != other.end()) {
+      for (const Record& m : it->second) {
+        Record j;
+        j.key = r.key;
+        // Latency accounting: a join result is as old as its older parent.
+        j.event_time = std::min(r.event_time, m.event_time);
+        j.value = (port == 0) ? combiner_(r.value, m.value) : combiner_(m.value, r.value);
+        j.wire_size = out_size_;
+        out.add(j);
+      }
+    }
+    own[r.key].push_back(r);
+  }
+}
+
+void WindowJoinOperator::expire(SimTime now) {
+  const SimTime cutoff_guard = SimTime::epoch() + window_;
+  const SimTime cutoff = now < cutoff_guard ? SimTime::epoch() : now - window_;
+  auto sweep = [cutoff](auto& side) {
+    for (auto it = side.begin(); it != side.end();) {
+      auto& v = it->second;
+      std::erase_if(v, [cutoff](const Record& r) { return r.event_time < cutoff; });
+      it = v.empty() ? side.erase(it) : std::next(it);
+    }
+  };
+  sweep(left_);
+  sweep(right_);
+}
+
+void WindowJoinOperator::on_timer(SimTime now, RecordBatch& out) {
+  (void)out;  // joins emit eagerly; the timer only expires stale state
+  expire(now);
+}
+
+std::size_t WindowJoinOperator::buffered() const {
+  std::size_t n = 0;
+  for (const auto& [k, v] : left_) n += v.size();
+  for (const auto& [k, v] : right_) n += v.size();
+  return n;
+}
+
+SlidingWindowAggregateOperator::SlidingWindowAggregateOperator(
+    std::string name, SimDuration window, SimDuration slide, AggregateFn fn,
+    Bytes output_record_size, double cost)
+    : name_(std::move(name)), window_(window), slide_(slide), fn_(fn),
+      out_size_(output_record_size), cost_(cost) {
+  SAGE_CHECK(window > SimDuration::zero());
+  SAGE_CHECK(slide > SimDuration::zero());
+  SAGE_CHECK_MSG(window.count_micros() % slide.count_micros() == 0,
+                 "slide must divide the window length");
+  SAGE_CHECK(cost_ > 0.0);
+  panes_per_window_ = static_cast<std::size_t>(window.count_micros() / slide.count_micros());
+}
+
+void SlidingWindowAggregateOperator::process(int port, const RecordBatch& in,
+                                             RecordBatch& out) {
+  SAGE_CHECK_MSG(port == 0, "sliding window aggregate has a single input port");
+  (void)out;
+  for (const Record& r : in.records()) {
+    auto [it, inserted] = panes_.try_emplace(r.key);
+    auto& ring = it->second;
+    if (ring.empty()) ring.emplace_front();
+    Pane& pane = ring.front();
+    if (pane.count == 0) {
+      pane.min = pane.max = r.value;
+      pane.oldest_event = r.event_time;
+    } else {
+      pane.min = std::min(pane.min, r.value);
+      pane.max = std::max(pane.max, r.value);
+      if (r.event_time < pane.oldest_event) pane.oldest_event = r.event_time;
+    }
+    pane.sum += r.value;
+    ++pane.count;
+  }
+}
+
+void SlidingWindowAggregateOperator::on_timer(SimTime now, RecordBatch& out) {
+  (void)now;
+  for (auto it = panes_.begin(); it != panes_.end();) {
+    auto& ring = it->second;
+    // Combine the live panes into the window aggregate.
+    Pane combined;
+    bool first = true;
+    for (const Pane& p : ring) {
+      if (p.count == 0) continue;
+      if (first) {
+        combined = p;
+        first = false;
+      } else {
+        combined.sum += p.sum;
+        combined.count += p.count;
+        combined.min = std::min(combined.min, p.min);
+        combined.max = std::max(combined.max, p.max);
+        if (p.oldest_event < combined.oldest_event) combined.oldest_event = p.oldest_event;
+      }
+    }
+    if (combined.count > 0) {
+      Record r;
+      r.key = it->first;
+      r.event_time = combined.oldest_event;
+      r.wire_size = out_size_;
+      switch (fn_) {
+        case AggregateFn::kSum:
+          r.value = combined.sum;
+          break;
+        case AggregateFn::kCount:
+          r.value = static_cast<double>(combined.count);
+          break;
+        case AggregateFn::kMean:
+          r.value = combined.sum / static_cast<double>(combined.count);
+          break;
+        case AggregateFn::kMin:
+          r.value = combined.min;
+          break;
+        case AggregateFn::kMax:
+          r.value = combined.max;
+          break;
+      }
+      out.add(r);
+    }
+    // Slide: open the next pane, expire the oldest, drop idle keys.
+    ring.emplace_front();
+    while (ring.size() > panes_per_window_) ring.pop_back();
+    if (combined.count == 0) {
+      it = panes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t SlidingWindowAggregateOperator::pane_count() const {
+  std::size_t n = 0;
+  for (const auto& [key, ring] : panes_) n += ring.size();
+  return n;
+}
+
+TopKOperator::TopKOperator(std::string name, SimDuration window, int k, bool sum_values,
+                           Bytes output_record_size, double cost)
+    : name_(std::move(name)), window_(window), k_(k), sum_values_(sum_values),
+      out_size_(output_record_size), cost_(cost) {
+  SAGE_CHECK(window > SimDuration::zero());
+  SAGE_CHECK(k_ >= 1);
+  SAGE_CHECK(cost_ > 0.0);
+}
+
+void TopKOperator::process(int port, const RecordBatch& in, RecordBatch& out) {
+  SAGE_CHECK_MSG(port == 0, "top-k has a single input port");
+  (void)out;
+  for (const Record& r : in.records()) {
+    auto [it, inserted] = weights_.try_emplace(r.key);
+    KeyWeight& kw = it->second;
+    if (inserted || r.event_time < kw.oldest_event) kw.oldest_event = r.event_time;
+    kw.weight += sum_values_ ? r.value : 1.0;
+  }
+}
+
+void TopKOperator::on_timer(SimTime now, RecordBatch& out) {
+  (void)now;
+  if (weights_.empty()) return;
+  std::vector<std::pair<std::uint64_t, KeyWeight>> entries(weights_.begin(),
+                                                           weights_.end());
+  const auto cutoff =
+      std::min(static_cast<std::size_t>(k_), entries.size());
+  std::partial_sort(entries.begin(),
+                    entries.begin() + static_cast<std::ptrdiff_t>(cutoff), entries.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second.weight != b.second.weight) {
+                        return a.second.weight > b.second.weight;
+                      }
+                      return a.first < b.first;  // deterministic ties
+                    });
+  for (std::size_t i = 0; i < cutoff; ++i) {
+    Record r;
+    r.key = entries[i].first;
+    r.value = entries[i].second.weight;
+    r.event_time = entries[i].second.oldest_event;
+    r.wire_size = out_size_;
+    out.add(r);
+  }
+  weights_.clear();
+}
+
+std::shared_ptr<Operator> make_map(std::string name, MapOperator::Fn fn, double cost) {
+  return std::make_shared<MapOperator>(std::move(name), std::move(fn), cost);
+}
+
+std::shared_ptr<Operator> make_filter(std::string name, FilterOperator::Pred pred,
+                                      double cost) {
+  return std::make_shared<FilterOperator>(std::move(name), std::move(pred), cost);
+}
+
+std::shared_ptr<Operator> make_window_aggregate(std::string name, SimDuration window,
+                                                AggregateFn fn, Bytes output_record_size,
+                                                double cost) {
+  return std::make_shared<WindowAggregateOperator>(std::move(name), window, fn,
+                                                   output_record_size, cost);
+}
+
+std::shared_ptr<Operator> make_window_join(std::string name, SimDuration window,
+                                           WindowJoinOperator::Combiner combiner,
+                                           Bytes output_record_size, double cost) {
+  return std::make_shared<WindowJoinOperator>(std::move(name), window, std::move(combiner),
+                                              output_record_size, cost);
+}
+
+std::shared_ptr<Operator> make_sliding_window_aggregate(std::string name,
+                                                        SimDuration window,
+                                                        SimDuration slide, AggregateFn fn,
+                                                        Bytes output_record_size,
+                                                        double cost) {
+  return std::make_shared<SlidingWindowAggregateOperator>(
+      std::move(name), window, slide, fn, output_record_size, cost);
+}
+
+std::shared_ptr<Operator> make_top_k(std::string name, SimDuration window, int k,
+                                     bool sum_values, Bytes output_record_size,
+                                     double cost) {
+  return std::make_shared<TopKOperator>(std::move(name), window, k, sum_values,
+                                        output_record_size, cost);
+}
+
+}  // namespace sage::stream

@@ -1,0 +1,254 @@
+// Streaming operators.
+//
+// Operators are batch transformers with up to two input ports (port 1 is
+// only used by joins). Time-driven operators (windows, joins) additionally
+// expose a flush cadence; the runtime calls on_timer at that interval with
+// the current simulated time, which is when window results are emitted
+// (processing-time windows — appropriate for the monitoring-style analyses
+// SAGE targets and deterministic under simulation).
+//
+// Each operator advertises a per-record CPU cost in abstract work units;
+// the site executor turns that into simulated processing time through the
+// host VM's (time-varying) compute throughput.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "stream/record.hpp"
+
+namespace sage::stream {
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Transform one input batch into output records (appended to `out`).
+  virtual void process(int port, const RecordBatch& in, RecordBatch& out) = 0;
+
+  /// Emit time-driven output (window closes). Default: none.
+  virtual void on_timer(SimTime now, RecordBatch& out) {
+    (void)now;
+    (void)out;
+  }
+
+  /// Interval between on_timer calls; zero disables the timer.
+  [[nodiscard]] virtual SimDuration timer_interval() const { return SimDuration::zero(); }
+
+  /// Abstract CPU work per input record.
+  [[nodiscard]] virtual double cost_per_record() const { return 1.0; }
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Stateless operators.
+// ---------------------------------------------------------------------------
+
+class MapOperator final : public Operator {
+ public:
+  using Fn = std::function<Record(const Record&)>;
+  MapOperator(std::string name, Fn fn, double cost = 1.0);
+
+  void process(int port, const RecordBatch& in, RecordBatch& out) override;
+  [[nodiscard]] double cost_per_record() const override { return cost_; }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Fn fn_;
+  double cost_;
+};
+
+class FilterOperator final : public Operator {
+ public:
+  using Pred = std::function<bool(const Record&)>;
+  FilterOperator(std::string name, Pred pred, double cost = 0.5);
+
+  void process(int port, const RecordBatch& in, RecordBatch& out) override;
+  [[nodiscard]] double cost_per_record() const override { return cost_; }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+ private:
+  std::string name_;
+  Pred pred_;
+  double cost_;
+};
+
+// ---------------------------------------------------------------------------
+// Keyed tumbling-window aggregation.
+// ---------------------------------------------------------------------------
+
+enum class AggregateFn : std::uint8_t { kSum, kCount, kMean, kMin, kMax };
+
+/// Per-key aggregation over processing-time tumbling windows of `window`
+/// length. Each window close emits one record per active key whose value is
+/// the aggregate and whose event_time is the *oldest* contributing event
+/// time (so downstream latency accounting reflects the slowest member).
+class WindowAggregateOperator final : public Operator {
+ public:
+  WindowAggregateOperator(std::string name, SimDuration window, AggregateFn fn,
+                          Bytes output_record_size = Bytes::of(64), double cost = 2.0);
+
+  void process(int port, const RecordBatch& in, RecordBatch& out) override;
+  void on_timer(SimTime now, RecordBatch& out) override;
+  [[nodiscard]] SimDuration timer_interval() const override { return window_; }
+  [[nodiscard]] double cost_per_record() const override { return cost_; }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  [[nodiscard]] std::size_t active_keys() const { return state_.size(); }
+
+ private:
+  struct KeyState {
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::uint64_t count = 0;
+    SimTime oldest_event;
+  };
+
+  std::string name_;
+  SimDuration window_;
+  AggregateFn fn_;
+  Bytes out_size_;
+  double cost_;
+  std::unordered_map<std::uint64_t, KeyState> state_;
+};
+
+// ---------------------------------------------------------------------------
+// Windowed stream join.
+// ---------------------------------------------------------------------------
+
+/// Hash join of two streams on the record key over a processing-time
+/// window: records from each side are buffered for `window`; a match emits
+/// one record whose value combines both sides (left.value * right-weight +
+/// right.value by default via the combiner).
+class WindowJoinOperator final : public Operator {
+ public:
+  using Combiner = std::function<double(double, double)>;
+  WindowJoinOperator(std::string name, SimDuration window, Combiner combiner,
+                     Bytes output_record_size = Bytes::of(96), double cost = 3.0);
+
+  void process(int port, const RecordBatch& in, RecordBatch& out) override;
+  void on_timer(SimTime now, RecordBatch& out) override;
+  [[nodiscard]] SimDuration timer_interval() const override { return window_ / 2.0; }
+  [[nodiscard]] double cost_per_record() const override { return cost_; }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  [[nodiscard]] std::size_t buffered() const;
+
+ private:
+  void expire(SimTime now);
+
+  std::string name_;
+  SimDuration window_;
+  Combiner combiner_;
+  Bytes out_size_;
+  double cost_;
+  std::unordered_map<std::uint64_t, std::vector<Record>> left_;
+  std::unordered_map<std::uint64_t, std::vector<Record>> right_;
+};
+
+// ---------------------------------------------------------------------------
+// Keyed sliding-window aggregation.
+// ---------------------------------------------------------------------------
+
+/// Per-key aggregation over sliding processing-time windows: window length
+/// `window`, emission every `slide` (slide must divide window). Internally
+/// pane-based: records land in slide-sized panes; each emission combines
+/// the panes covering the window, so memory is O(keys × window/slide) and
+/// no record is buffered individually.
+class SlidingWindowAggregateOperator final : public Operator {
+ public:
+  SlidingWindowAggregateOperator(std::string name, SimDuration window, SimDuration slide,
+                                 AggregateFn fn,
+                                 Bytes output_record_size = Bytes::of(64),
+                                 double cost = 2.5);
+
+  void process(int port, const RecordBatch& in, RecordBatch& out) override;
+  void on_timer(SimTime now, RecordBatch& out) override;
+  [[nodiscard]] SimDuration timer_interval() const override { return slide_; }
+  [[nodiscard]] double cost_per_record() const override { return cost_; }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  [[nodiscard]] std::size_t pane_count() const;
+
+ private:
+  struct Pane {
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::uint64_t count = 0;
+    SimTime oldest_event;
+  };
+
+  std::string name_;
+  SimDuration window_;
+  SimDuration slide_;
+  AggregateFn fn_;
+  Bytes out_size_;
+  double cost_;
+  std::size_t panes_per_window_;
+  /// Per key: ring of the most recent panes (front = current).
+  std::unordered_map<std::uint64_t, std::deque<Pane>> panes_;
+};
+
+// ---------------------------------------------------------------------------
+// Top-K over tumbling windows.
+// ---------------------------------------------------------------------------
+
+/// Counts (or sums values) per key over a tumbling window and emits the K
+/// heaviest keys at each window close — the "trending items" primitive of
+/// the clickstream scenario. Output records carry the key and its weight.
+class TopKOperator final : public Operator {
+ public:
+  TopKOperator(std::string name, SimDuration window, int k, bool sum_values = false,
+               Bytes output_record_size = Bytes::of(64), double cost = 2.0);
+
+  void process(int port, const RecordBatch& in, RecordBatch& out) override;
+  void on_timer(SimTime now, RecordBatch& out) override;
+  [[nodiscard]] SimDuration timer_interval() const override { return window_; }
+  [[nodiscard]] double cost_per_record() const override { return cost_; }
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+ private:
+  struct KeyWeight {
+    double weight = 0.0;
+    SimTime oldest_event;
+  };
+
+  std::string name_;
+  SimDuration window_;
+  int k_;
+  bool sum_values_;
+  Bytes out_size_;
+  double cost_;
+  std::unordered_map<std::uint64_t, KeyWeight> weights_;
+};
+
+// Factory helpers.
+[[nodiscard]] std::shared_ptr<Operator> make_map(std::string name, MapOperator::Fn fn,
+                                                 double cost = 1.0);
+[[nodiscard]] std::shared_ptr<Operator> make_filter(std::string name,
+                                                    FilterOperator::Pred pred,
+                                                    double cost = 0.5);
+[[nodiscard]] std::shared_ptr<Operator> make_window_aggregate(
+    std::string name, SimDuration window, AggregateFn fn,
+    Bytes output_record_size = Bytes::of(64), double cost = 2.0);
+[[nodiscard]] std::shared_ptr<Operator> make_window_join(
+    std::string name, SimDuration window, WindowJoinOperator::Combiner combiner,
+    Bytes output_record_size = Bytes::of(96), double cost = 3.0);
+[[nodiscard]] std::shared_ptr<Operator> make_sliding_window_aggregate(
+    std::string name, SimDuration window, SimDuration slide, AggregateFn fn,
+    Bytes output_record_size = Bytes::of(64), double cost = 2.5);
+[[nodiscard]] std::shared_ptr<Operator> make_top_k(std::string name, SimDuration window,
+                                                   int k, bool sum_values = false,
+                                                   Bytes output_record_size = Bytes::of(64),
+                                                   double cost = 2.0);
+
+}  // namespace sage::stream

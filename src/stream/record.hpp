@@ -1,0 +1,56 @@
+// Stream data model: records and batches.
+//
+// The engine is batch-at-a-time: sources emit small batches on a fixed
+// cadence, operators transform batches, and cross-site edges accumulate
+// batches into WAN-sized transfers. Records carry their creation time so
+// sinks can account true end-to-end (event-to-arrival) latency across
+// however many sites and transfers a record traversed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace sage::stream {
+
+struct Record {
+  /// Simulated time the event was produced at its source.
+  SimTime event_time;
+  /// Partitioning / grouping key.
+  std::uint64_t key = 0;
+  /// Measurement payload.
+  double value = 0.0;
+  /// Serialized size of this record on the wire.
+  Bytes wire_size = Bytes::of(64);
+};
+
+class RecordBatch {
+ public:
+  RecordBatch() = default;
+
+  void add(Record r) {
+    bytes_ += r.wire_size;
+    records_.push_back(r);
+  }
+  void clear() {
+    records_.clear();
+    bytes_ = Bytes::zero();
+  }
+  void append(const RecordBatch& other) {
+    records_.insert(records_.end(), other.records_.begin(), other.records_.end());
+    bytes_ += other.bytes_;
+  }
+
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] Bytes wire_size() const { return bytes_; }
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+  [[nodiscard]] std::vector<Record>& records() { return records_; }
+
+ private:
+  std::vector<Record> records_;
+  Bytes bytes_;
+};
+
+}  // namespace sage::stream

@@ -1,0 +1,242 @@
+#include "stream/runtime.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace sage::stream {
+
+StreamRuntime::StreamRuntime(cloud::CloudProvider& provider, JobGraph graph,
+                             TransferBackend& backend, RuntimeConfig config)
+    : provider_(provider),
+      engine_(provider.engine()),
+      graph_(std::move(graph)),
+      backend_(backend),
+      config_(config),
+      rng_(config.seed) {
+  graph_.validate();
+  states_.resize(graph_.vertices().size());
+}
+
+StreamRuntime::~StreamRuntime() {
+  *alive_ = false;
+  if (running_) stop();
+}
+
+void StreamRuntime::start() {
+  SAGE_CHECK_MSG(!started_, "start() is one-shot");
+  started_ = true;
+  running_ = true;
+
+  for (cloud::Region site : graph_.sites_used()) {
+    site_vms_[cloud::region_index(site)] =
+        provider_.provision(site, config_.site_vm).id;
+  }
+
+  for (const Vertex& v : graph_.vertices()) {
+    VertexState& st = states_[v.id];
+    if (v.kind == VertexKind::kSource) {
+      st.timer = std::make_unique<sim::PeriodicTask>(
+          engine_, v.source.emit_interval, [this, id = v.id] { emit_source(id); });
+      st.timer->start();
+    } else if (v.kind == VertexKind::kOperator &&
+               v.op->timer_interval() > SimDuration::zero()) {
+      st.timer = std::make_unique<sim::PeriodicTask>(
+          engine_, v.op->timer_interval(), [this, id = v.id] {
+            RecordBatch out;
+            graph_.vertex(id).op->on_timer(engine_.now(), out);
+            if (!out.empty()) dispatch_outputs(id, std::move(out));
+          });
+      st.timer->start();
+    }
+  }
+
+  for (const Edge& e : graph_.wan_edges()) {
+    auto b = std::make_unique<GeoBatcher>();
+    b->edge = e;
+    GeoBatcher* raw = b.get();
+    b->flusher = std::make_unique<sim::PeriodicTask>(
+        engine_, config_.geo_batch_max_delay, [this, raw] {
+          if (!raw->pending.empty() &&
+              engine_.now() - raw->oldest >= config_.geo_batch_max_delay) {
+            flush_geo(*raw);
+          }
+        });
+    b->flusher->start();
+    geo_.push_back(std::move(b));
+  }
+}
+
+void StreamRuntime::stop() {
+  if (!running_) return;
+  running_ = false;
+  for (VertexState& st : states_) {
+    if (st.timer) st.timer->stop();
+  }
+  for (auto& b : geo_) b->flusher->stop();
+  for (cloud::Region r : cloud::kAllRegions) {
+    const auto& vm = site_vms_[cloud::region_index(r)];
+    if (vm) provider_.release(*vm);
+  }
+}
+
+cloud::VmId StreamRuntime::site_vm(cloud::Region site) const {
+  const auto& vm = site_vms_[cloud::region_index(site)];
+  SAGE_CHECK_MSG(vm.has_value(), "no VM for that site (job does not use it)");
+  return *vm;
+}
+
+const SinkStats& StreamRuntime::sink_stats(VertexId sink) const {
+  SAGE_CHECK(graph_.vertex(sink).kind == VertexKind::kSink);
+  return states_[sink].sink;
+}
+
+std::size_t StreamRuntime::queue_depth(VertexId v) const {
+  SAGE_CHECK(v < states_.size());
+  std::size_t n = 0;
+  for (const PendingBatch& p : states_[v].queue) n += p.batch.size();
+  return n;
+}
+
+void StreamRuntime::emit_source(VertexId v) {
+  if (!running_) return;
+  const Vertex& vx = graph_.vertex(v);
+  VertexState& st = states_[v];
+  const double owed = vx.source.records_per_sec * vx.source.emit_interval.to_seconds() +
+                      st.carry;
+  const auto count = static_cast<std::int64_t>(owed);
+  st.carry = owed - static_cast<double>(count);
+  if (count <= 0) return;
+
+  RecordBatch batch;
+  for (std::int64_t i = 0; i < count; ++i) {
+    Record r;
+    r.event_time = engine_.now();
+    r.key = vx.source.key_skew > 0.0
+                ? static_cast<std::uint64_t>(rng_.zipf(
+                      static_cast<std::int64_t>(vx.source.key_count), vx.source.key_skew))
+                : static_cast<std::uint64_t>(rng_.uniform_int(
+                      0, static_cast<std::int64_t>(vx.source.key_count) - 1));
+    r.value = rng_.normal(vx.source.value_mean, vx.source.value_stddev);
+    r.wire_size = vx.source.record_size;
+    batch.add(r);
+  }
+  dispatch_outputs(v, std::move(batch));
+}
+
+void StreamRuntime::dispatch_outputs(VertexId v, RecordBatch out) {
+  if (out.empty()) return;
+  const auto edges = graph_.out_edges(v);
+  if (edges.empty()) return;
+  // Fan-out copies to every downstream edge (broadcast semantics).
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (i + 1 == edges.size()) {
+      deliver(edges[i], std::move(out));
+      break;
+    }
+    deliver(edges[i], out);
+  }
+}
+
+void StreamRuntime::deliver(const Edge& edge, RecordBatch batch) {
+  const Vertex& from = graph_.vertex(edge.from);
+  const Vertex& to = graph_.vertex(edge.to);
+  if (from.site == to.site) {
+    enqueue(edge.to, edge.port, std::move(batch));
+    return;
+  }
+  for (auto& b : geo_) {
+    if (b->edge.from == edge.from && b->edge.to == edge.to && b->edge.port == edge.port) {
+      if (b->pending.empty()) b->oldest = engine_.now();
+      b->pending.append(batch);
+      if (b->pending.wire_size() >= config_.geo_batch_max_bytes) flush_geo(*b);
+      return;
+    }
+  }
+  SAGE_CHECK_MSG(false, "WAN edge without a geo-batcher");
+}
+
+void StreamRuntime::flush_geo(GeoBatcher& b) {
+  if (b.pending.empty()) return;
+  b.backlog.push_back(std::move(b.pending));
+  b.pending.clear();
+  pump_geo(b);
+}
+
+void StreamRuntime::pump_geo(GeoBatcher& b) {
+  if (b.in_flight || b.backlog.empty() || !running_) return;
+  b.in_flight = true;
+  RecordBatch batch = std::move(b.backlog.front());
+  b.backlog.pop_front();
+  const cloud::Region src = graph_.vertex(b.edge.from).site;
+  const cloud::Region dst = graph_.vertex(b.edge.to).site;
+  const Bytes size = batch.wire_size();
+  auto alive = alive_;
+  GeoBatcher* raw = &b;
+  backend_.send(src, dst, size,
+                [this, alive, raw, batch = std::move(batch), size](const SendOutcome& o) mutable {
+                  if (!*alive) return;
+                  ++wan_.batches;
+                  if (o.ok) {
+                    wan_.bytes += size;
+                    wan_.transfer_s.add(o.elapsed.to_seconds());
+                    enqueue(raw->edge.to, raw->edge.port, std::move(batch));
+                  } else {
+                    ++wan_.failures;
+                  }
+                  raw->in_flight = false;
+                  pump_geo(*raw);
+                });
+}
+
+void StreamRuntime::enqueue(VertexId v, int port, RecordBatch batch) {
+  if (batch.empty()) return;
+  const Vertex& vx = graph_.vertex(v);
+  VertexState& st = states_[v];
+
+  if (vx.kind == VertexKind::kSink) {
+    const SimTime now = engine_.now();
+    st.sink.records += batch.size();
+    st.sink.bytes += batch.wire_size();
+    for (const Record& r : batch.records()) {
+      st.sink.latency_ms.add((now - r.event_time).to_seconds() * 1e3);
+    }
+    return;
+  }
+
+  SAGE_CHECK(vx.kind == VertexKind::kOperator);
+  st.queue.push_back(PendingBatch{port, std::move(batch)});
+  if (!st.busy) process_next(v);
+}
+
+void StreamRuntime::process_next(VertexId v) {
+  VertexState& st = states_[v];
+  if (st.queue.empty() || !running_) {
+    st.busy = false;
+    return;
+  }
+  st.busy = true;
+  PendingBatch work = std::move(st.queue.front());
+  st.queue.pop_front();
+
+  const Vertex& vx = graph_.vertex(v);
+  const auto vm = site_vms_[cloud::region_index(vx.site)];
+  SAGE_CHECK(vm.has_value());
+  const double cpu = provider_.is_active(*vm) ? provider_.vm_cpu_factor(*vm) : 1.0;
+  const double spec_factor = cloud::vm_spec(config_.site_vm).compute_factor;
+  const double work_units = static_cast<double>(work.batch.size()) * vx.op->cost_per_record();
+  const SimDuration delay = SimDuration::seconds(
+      work_units / (config_.work_units_per_sec * spec_factor * std::max(cpu, 0.05)));
+
+  auto alive = alive_;
+  engine_.schedule_after(delay, [this, alive, v, work = std::move(work)]() mutable {
+    if (!*alive || !running_) return;
+    const Vertex& vx2 = graph_.vertex(v);
+    RecordBatch out;
+    vx2.op->process(work.port, work.batch, out);
+    if (!out.empty()) dispatch_outputs(v, std::move(out));
+    process_next(v);
+  });
+}
+
+}  // namespace sage::stream

@@ -1,0 +1,88 @@
+// Workload generators for examples, tests and the experiment harness.
+//
+//  * Sensor grid   — the motivating streaming scenario: sensor feeds arrive
+//    at several sites, are filtered and window-aggregated locally, and the
+//    per-site aggregates stream to one global aggregation site.
+//  * Clickstream   — skewed-key web analytics: per-site sessionized counts
+//    joined/merged globally.
+//  * Meta-reduce   — the A-Brain pattern: each of several sites produces a
+//    large batch of partial-result files that must all reach a
+//    meta-reducer site; the figure of merit is the total staging time.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "simcore/engine.hpp"
+#include "stream/backend.hpp"
+#include "stream/graph.hpp"
+
+namespace sage::workload {
+
+// ---------------------------------------------------------------------------
+// Streaming jobs.
+// ---------------------------------------------------------------------------
+
+struct SensorGridParams {
+  std::vector<cloud::Region> sites = {cloud::Region::kNorthEU, cloud::Region::kWestEU,
+                                      cloud::Region::kNorthUS};
+  cloud::Region aggregation_site = cloud::Region::kNorthUS;
+  double records_per_sec_per_site = 2000.0;
+  Bytes record_size = Bytes::of(200);
+  std::uint64_t sensors_per_site = 500;
+  SimDuration local_window = SimDuration::seconds(10);
+  SimDuration global_window = SimDuration::seconds(30);
+  /// Fraction of readings dropped by the local quality filter.
+  double filter_keep_fraction = 0.8;
+};
+
+/// source(site) -> filter(site) -> window-mean(site) ->WAN-> global
+/// window-mean(aggregation) -> sink(aggregation), per site.
+[[nodiscard]] stream::JobGraph make_sensor_grid_job(const SensorGridParams& params);
+
+struct ClickstreamParams {
+  std::vector<cloud::Region> sites = {cloud::Region::kWestEU, cloud::Region::kEastUS,
+                                      cloud::Region::kWestUS};
+  cloud::Region aggregation_site = cloud::Region::kEastUS;
+  double events_per_sec_per_site = 5000.0;
+  Bytes event_size = Bytes::of(320);
+  std::uint64_t url_count = 10000;
+  /// Zipf exponent of URL popularity.
+  double url_skew = 1.1;
+  SimDuration count_window = SimDuration::seconds(5);
+  SimDuration trend_window = SimDuration::seconds(30);
+  /// How many trending URLs the global stage keeps per trend window.
+  int top_k = 10;
+};
+
+/// source(site) -> bot filter(site) -> per-URL window count(site) ->WAN->
+/// global top-k trend(aggregation) -> sink.
+[[nodiscard]] stream::JobGraph make_clickstream_job(const ClickstreamParams& params);
+
+// ---------------------------------------------------------------------------
+// A-Brain-style meta-reduce staging.
+// ---------------------------------------------------------------------------
+
+struct MetaReduceParams {
+  std::vector<cloud::Region> sites = {cloud::Region::kNorthEU, cloud::Region::kWestEU,
+                                      cloud::Region::kSouthUS};
+  cloud::Region reducer_site = cloud::Region::kNorthUS;
+  int files_per_site = 1000;
+  Bytes file_size = Bytes::kb(36);
+  /// Concurrent in-flight files per site.
+  int concurrency_per_site = 8;
+};
+
+struct MetaReduceResult {
+  SimDuration total_time;
+  std::uint64_t files_moved = 0;
+  std::uint64_t failures = 0;
+};
+
+/// Ship every site's files to the reducer through `backend`; `done` fires
+/// when the last file lands. Drive the engine to completion afterwards.
+void run_metareduce(sim::SimEngine& engine, stream::TransferBackend& backend,
+                    const MetaReduceParams& params,
+                    std::function<void(const MetaReduceResult&)> done);
+
+}  // namespace sage::workload

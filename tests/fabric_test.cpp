@@ -1,0 +1,287 @@
+// Tests for the fluid-flow WAN fabric (max-min sharing, per-flow TCP caps,
+// NIC limits, failures, egress accounting) on the *stable* topology, where
+// rates are analytic.
+#include "cloud/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cloud/topology.hpp"
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "test_util.hpp"
+
+namespace sage::cloud {
+namespace {
+
+using sage::testing::run_until;
+
+constexpr Region kNEU = Region::kNorthEU;
+constexpr Region kWEU = Region::kWestEU;
+constexpr Region kNUS = Region::kNorthUS;
+
+const ByteRate kSmallNic = ByteRate::megabits_per_sec(100);  // 12.5 MB/s
+
+struct FabricFixture : public ::testing::Test {
+  sim::SimEngine engine;
+  Topology topo = stable_topology();
+  Fabric fabric{engine, topo, /*seed=*/7};
+
+  NodeId vm(Region r) { return fabric.add_node(r, kSmallNic, kSmallNic); }
+
+  /// Start a flow and run to completion; returns the result.
+  FlowResult run_flow(NodeId src, NodeId dst, Bytes size, FlowOptions options = {}) {
+    FlowResult out{};
+    bool done = false;
+    fabric.start_flow(src, dst, size, options, [&](const FlowResult& r) {
+      out = r;
+      done = true;
+    });
+    EXPECT_TRUE(run_until(engine, [&] { return done; }, SimDuration::hours(12)));
+    return out;
+  }
+};
+
+TEST_F(FabricFixture, SingleWanFlowHitsPerFlowCap) {
+  const ByteRate cap = topo.link(kNEU, kNUS).per_flow_cap;
+  const Bytes size = cap * SimDuration::seconds(20);  // ~20 s of payload
+  const FlowResult r = run_flow(vm(kNEU), vm(kNUS), size);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.transferred, size);
+  const double expected_s = 20.0 + topo.link(kNEU, kNUS).latency.to_seconds();
+  EXPECT_NEAR(r.elapsed().to_seconds(), expected_s, 0.5);
+}
+
+TEST_F(FabricFixture, IntraRegionFlowIsNicBound) {
+  const Bytes size = kSmallNic * SimDuration::seconds(10);
+  const FlowResult r = run_flow(vm(kNEU), vm(kNEU), size);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.elapsed().to_seconds(), 10.0, 0.2);
+}
+
+TEST_F(FabricFixture, IntraFlowIsMuchFasterThanTransatlantic) {
+  const Bytes size = Bytes::mb(50);
+  const FlowResult intra = run_flow(vm(kNEU), vm(kNEU), size);
+  const FlowResult wan = run_flow(vm(kNEU), vm(kNUS), size);
+  ASSERT_TRUE(intra.ok());
+  ASSERT_TRUE(wan.ok());
+  EXPECT_GT(wan.elapsed() / intra.elapsed(), 3.0);
+}
+
+TEST_F(FabricFixture, NicSharedAcrossConcurrentFlows) {
+  // Six concurrent flows out of one VM exceed its NIC: each should get
+  // NIC/6, not the WAN per-flow cap.
+  const NodeId src = vm(kNEU);
+  const Bytes size = Bytes::mb(10);
+  int done = 0;
+  std::vector<FlowResult> results(6);
+  for (int i = 0; i < 6; ++i) {
+    fabric.start_flow(src, vm(kNUS), size, {}, [&, i](const FlowResult& r) {
+      results[static_cast<std::size_t>(i)] = r;
+      ++done;
+    });
+  }
+  ASSERT_TRUE(run_until(engine, [&] { return done == 6; }, SimDuration::hours(1)));
+  const double share = kSmallNic.to_mb_per_sec() / 6.0;  // ~2.08 MB/s
+  for (const FlowResult& r : results) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_NEAR(r.achieved_rate().to_mb_per_sec(), share, 0.15);
+  }
+}
+
+TEST_F(FabricFixture, WanAggregateCapacitySaturates) {
+  // Twelve distinct VM pairs exceed the pair link's aggregate capacity
+  // (8x the per-flow cap): each flow gets capacity/12.
+  const ByteRate cap = topo.link(kNEU, kNUS).per_flow_cap;
+  const ByteRate aggregate = topo.link(kNEU, kNUS).capacity;
+  const Bytes size = Bytes::mb(10);
+  int done = 0;
+  std::vector<FlowResult> results(12);
+  for (int i = 0; i < 12; ++i) {
+    fabric.start_flow(vm(kNEU), vm(kNUS), size, {}, [&, i](const FlowResult& r) {
+      results[static_cast<std::size_t>(i)] = r;
+      ++done;
+    });
+  }
+  ASSERT_TRUE(run_until(engine, [&] { return done == 12; }, SimDuration::hours(1)));
+  const double share = aggregate.to_mb_per_sec() / 12.0;
+  ASSERT_LT(share, cap.to_mb_per_sec());  // sanity: link is the bottleneck
+  for (const FlowResult& r : results) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_NEAR(r.achieved_rate().to_mb_per_sec(), share, 0.2);
+  }
+}
+
+TEST_F(FabricFixture, TwoFlowsBelowCapacityEachGetFullCap) {
+  const ByteRate cap = topo.link(kNEU, kNUS).per_flow_cap;
+  const Bytes size = cap * SimDuration::seconds(15);
+  int done = 0;
+  std::vector<FlowResult> results(2);
+  for (int i = 0; i < 2; ++i) {
+    fabric.start_flow(vm(kNEU), vm(kNUS), size, {}, [&, i](const FlowResult& r) {
+      results[static_cast<std::size_t>(i)] = r;
+      ++done;
+    });
+  }
+  ASSERT_TRUE(run_until(engine, [&] { return done == 2; }, SimDuration::hours(1)));
+  for (const FlowResult& r : results) {
+    ASSERT_TRUE(r.ok());
+    EXPECT_NEAR(r.elapsed().to_seconds(), 15.0, 0.5);
+  }
+}
+
+TEST_F(FabricFixture, DemandCapBindsFlow) {
+  FlowOptions options;
+  options.demand_cap = ByteRate::mb_per_sec(1.0);
+  const FlowResult r = run_flow(vm(kNEU), vm(kNUS), Bytes::mb(10), options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.elapsed().to_seconds(), 10.0, 0.3);
+}
+
+TEST_F(FabricFixture, DemandLimitedFlowLeavesCapacityToOthers) {
+  // One throttled + one free flow out of the same NIC: the free flow keeps
+  // the WAN per-flow cap because the throttled one does not contend.
+  const NodeId src = vm(kNEU);
+  const ByteRate cap = topo.link(kNEU, kNUS).per_flow_cap;
+  FlowOptions slow;
+  slow.demand_cap = ByteRate::mb_per_sec(0.5);
+  bool slow_done = false;
+  fabric.start_flow(src, vm(kNUS), Bytes::mb(5), slow,
+                    [&](const FlowResult&) { slow_done = true; });
+  FlowResult fast{};
+  bool fast_done = false;
+  fabric.start_flow(src, vm(kNUS), cap * SimDuration::seconds(10), {},
+                    [&](const FlowResult& r) {
+                      fast = r;
+                      fast_done = true;
+                    });
+  ASSERT_TRUE(run_until(engine, [&] { return fast_done && slow_done; },
+                        SimDuration::hours(1)));
+  EXPECT_NEAR(fast.elapsed().to_seconds(), 10.0, 0.5);
+}
+
+TEST_F(FabricFixture, ExtraSetupLatencyDelaysCompletion) {
+  FlowOptions options;
+  options.extra_setup_latency = SimDuration::seconds(2);
+  const ByteRate cap = topo.link(kNEU, kNUS).per_flow_cap;
+  const FlowResult r = run_flow(vm(kNEU), vm(kNUS), cap * SimDuration::seconds(5), options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.elapsed().to_seconds(), 7.0, 0.3);
+}
+
+TEST_F(FabricFixture, CancelMidFlight) {
+  const NodeId a = vm(kNEU);
+  const NodeId b = vm(kNUS);
+  FlowResult result{};
+  bool done = false;
+  const FlowId id = fabric.start_flow(a, b, Bytes::mb(100), {}, [&](const FlowResult& r) {
+    result = r;
+    done = true;
+  });
+  engine.run_until(engine.now() + SimDuration::seconds(10));
+  EXPECT_TRUE(fabric.flow_active(id));
+  EXPECT_GT(fabric.flow_transferred(id), Bytes::zero());
+  fabric.cancel_flow(id);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(result.outcome, FlowOutcome::kCancelled);
+  EXPECT_GT(result.transferred, Bytes::zero());
+  EXPECT_LT(result.transferred, Bytes::mb(100));
+  EXPECT_FALSE(fabric.flow_active(id));
+}
+
+TEST_F(FabricFixture, NodeFailureAbortsItsFlows) {
+  const NodeId a = vm(kNEU);
+  const NodeId b = vm(kNUS);
+  FlowResult result{};
+  bool done = false;
+  fabric.start_flow(a, b, Bytes::mb(100), {}, [&](const FlowResult& r) {
+    result = r;
+    done = true;
+  });
+  engine.run_until(engine.now() + SimDuration::seconds(5));
+  fabric.set_node_failed(b, true);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(result.outcome, FlowOutcome::kFailed);
+  EXPECT_TRUE(fabric.node_failed(b));
+}
+
+TEST_F(FabricFixture, FlowToFailedNodeFailsAsync) {
+  const NodeId a = vm(kNEU);
+  const NodeId b = vm(kNUS);
+  fabric.set_node_failed(b, true);
+  FlowResult result{};
+  bool done = false;
+  fabric.start_flow(a, b, Bytes::mb(1), {}, [&](const FlowResult& r) {
+    result = r;
+    done = true;
+  });
+  EXPECT_FALSE(done);  // asynchronous, never re-entrant
+  engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(result.outcome, FlowOutcome::kFailed);
+  EXPECT_TRUE(result.transferred.is_zero());
+}
+
+TEST_F(FabricFixture, RecoveredNodeAcceptsFlows) {
+  const NodeId a = vm(kNEU);
+  const NodeId b = vm(kNUS);
+  fabric.set_node_failed(b, true);
+  fabric.set_node_failed(b, false);
+  const FlowResult r = run_flow(a, b, Bytes::mb(1));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST_F(FabricFixture, EgressCountsOnlyCrossRegionBytes) {
+  const Bytes wan_bytes = Bytes::mb(8);
+  (void)run_flow(vm(kNEU), vm(kNUS), wan_bytes);
+  (void)run_flow(vm(kNEU), vm(kNEU), Bytes::mb(32));  // intra: free
+  EXPECT_NEAR(fabric.egress_from(kNEU).to_mb(), wan_bytes.to_mb(), 0.01);
+  EXPECT_TRUE(fabric.egress_from(kNUS).is_zero());
+}
+
+TEST_F(FabricFixture, PairFlowCountTracksLiveFlows) {
+  EXPECT_EQ(fabric.pair_flow_count(kNEU, kNUS), 0u);
+  bool done = false;
+  fabric.start_flow(vm(kNEU), vm(kNUS), Bytes::mb(50), {},
+                    [&](const FlowResult&) { done = true; });
+  engine.run_until(engine.now() + SimDuration::seconds(2));
+  EXPECT_EQ(fabric.pair_flow_count(kNEU, kNUS), 1u);
+  EXPECT_EQ(fabric.pair_flow_count(kNEU, kWEU), 0u);
+  ASSERT_TRUE(run_until(engine, [&] { return done; }, SimDuration::hours(1)));
+  EXPECT_EQ(fabric.pair_flow_count(kNEU, kNUS), 0u);
+}
+
+TEST_F(FabricFixture, ZeroByteFlowCompletesAfterSetup) {
+  const FlowResult r = run_flow(vm(kNEU), vm(kNUS), Bytes::zero());
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.transferred.is_zero());
+  EXPECT_NEAR(r.elapsed().to_seconds(), topo.link(kNEU, kNUS).latency.to_seconds(), 1e-3);
+}
+
+TEST_F(FabricFixture, RejectsSelfFlow) {
+  const NodeId a = vm(kNEU);
+  EXPECT_THROW(fabric.start_flow(a, a, Bytes::mb(1), {}, [](const FlowResult&) {}),
+               CheckFailure);
+}
+
+TEST_F(FabricFixture, StableTopologyCapacityIsConstant) {
+  const ByteRate c1 = fabric.pair_capacity_now(kNEU, kNUS);
+  engine.run_until(engine.now() + SimDuration::hours(5));
+  const ByteRate c2 = fabric.pair_capacity_now(kNEU, kNUS);
+  EXPECT_DOUBLE_EQ(c1.bytes_per_second(), c2.bytes_per_second());
+}
+
+TEST(FabricVariabilityTest, DefaultTopologyCapacityMoves) {
+  sim::SimEngine engine;
+  Fabric fabric(engine, default_topology(), /*seed=*/3);
+  OnlineStats stats;
+  for (int i = 0; i < 200; ++i) {
+    engine.run_until(engine.now() + SimDuration::minutes(5));
+    stats.add(fabric.pair_capacity_now(Region::kNorthEU, Region::kNorthUS)
+                  .to_mb_per_sec());
+  }
+  EXPECT_GT(stats.stddev() / stats.mean(), 0.03);  // visibly variable
+  EXPECT_GT(stats.min(), 0.0);
+}
+
+}  // namespace
+}  // namespace sage::cloud

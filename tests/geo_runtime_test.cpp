@@ -1,0 +1,151 @@
+// Tests for the cross-site streaming runtime: geo-batching, WAN accounting,
+// failure handling — with a scripted fake backend so behaviour is exact.
+#include <gtest/gtest.h>
+
+#include "stream/graph.hpp"
+#include "stream/runtime.hpp"
+#include "test_util.hpp"
+
+namespace sage::stream {
+namespace {
+
+using cloud::Region;
+using sage::testing::StableWorld;
+
+constexpr Region kNEU = Region::kNorthEU;
+constexpr Region kNUS = Region::kNorthUS;
+
+/// Backend that delivers after a scripted delay (or fails), recording calls.
+struct ScriptedBackend final : TransferBackend {
+  sim::SimEngine& engine;
+  SimDuration delay = SimDuration::seconds(1);
+  bool fail_next = false;
+  int calls = 0;
+  std::vector<Bytes> sizes;
+
+  explicit ScriptedBackend(sim::SimEngine& e) : engine(e) {}
+
+  void send(Region src, Region dst, Bytes size, DoneFn done) override {
+    EXPECT_EQ(src, kNEU);
+    EXPECT_EQ(dst, kNUS);
+    ++calls;
+    sizes.push_back(size);
+    const bool fail = fail_next;
+    fail_next = false;
+    engine.schedule_after(delay, [done = std::move(done), fail, this] {
+      done(SendOutcome{!fail, delay});
+    });
+  }
+  [[nodiscard]] std::string_view name() const override { return "scripted"; }
+};
+
+struct GeoRuntimeFixture : public ::testing::Test {
+  StableWorld world;
+  ScriptedBackend backend{world.engine};
+
+  JobGraph cross_site_graph(double rate, Bytes record_size = Bytes::of(200)) {
+    JobGraph g;
+    SourceSpec spec;
+    spec.records_per_sec = rate;
+    spec.record_size = record_size;
+    src_ = g.add_source("s", kNEU, spec);
+    sink_ = g.add_sink("k", kNUS);
+    g.connect(src_, sink_);
+    return g;
+  }
+
+  VertexId src_ = 0;
+  VertexId sink_ = 0;
+};
+
+TEST_F(GeoRuntimeFixture, BatchesCrossTheWan) {
+  RuntimeConfig config;
+  config.geo_batch_max_bytes = Bytes::kb(100);
+  config.geo_batch_max_delay = SimDuration::seconds(1);
+  StreamRuntime runtime(*world.provider, cross_site_graph(1000.0), backend, config);
+  runtime.start();
+  world.engine.run_until(world.engine.now() + SimDuration::seconds(20));
+  runtime.stop();
+
+  EXPECT_GT(backend.calls, 10);
+  const SinkStats& stats = runtime.sink_stats(sink_);
+  EXPECT_GT(stats.records, 8000u);
+  const WanStats& wan = runtime.wan_stats();
+  // The last batch may still be in flight when the run stops.
+  EXPECT_GE(wan.batches + 1, static_cast<std::uint64_t>(backend.calls));
+  EXPECT_EQ(wan.failures, 0u);
+  EXPECT_GT(wan.bytes, Bytes::mb(1.5));
+}
+
+TEST_F(GeoRuntimeFixture, SizeTriggerFlushesAtThreshold) {
+  RuntimeConfig config;
+  config.geo_batch_max_bytes = Bytes::kb(50);
+  config.geo_batch_max_delay = SimDuration::hours(10);  // effectively never
+  StreamRuntime runtime(*world.provider, cross_site_graph(5000.0), backend, config);
+  runtime.start();
+  world.engine.run_until(world.engine.now() + SimDuration::seconds(10));
+  runtime.stop();
+  ASSERT_GT(backend.calls, 0);
+  // Every flush was triggered by size, so batches are at least the limit.
+  for (const Bytes b : backend.sizes) EXPECT_GE(b, Bytes::kb(50));
+}
+
+TEST_F(GeoRuntimeFixture, DelayTriggerFlushesSparseStreams) {
+  RuntimeConfig config;
+  config.geo_batch_max_bytes = Bytes::mb(100);  // size trigger unreachable
+  config.geo_batch_max_delay = SimDuration::seconds(2);
+  StreamRuntime runtime(*world.provider, cross_site_graph(10.0), backend, config);
+  runtime.start();
+  world.engine.run_until(world.engine.now() + SimDuration::seconds(30));
+  runtime.stop();
+  EXPECT_GT(backend.calls, 5);
+  const SinkStats& stats = runtime.sink_stats(sink_);
+  EXPECT_GT(stats.records, 200u);
+  // End-to-end latency includes batching delay + transfer delay but stays
+  // bounded by roughly max_delay + flush period + backend delay.
+  EXPECT_LT(stats.latency_ms.quantile(0.95), 6000.0);
+}
+
+TEST_F(GeoRuntimeFixture, FailedBatchIsCountedAndDropped) {
+  RuntimeConfig config;
+  config.geo_batch_max_bytes = Bytes::kb(50);
+  StreamRuntime runtime(*world.provider, cross_site_graph(2000.0), backend, config);
+  runtime.start();
+  world.engine.run_until(world.engine.now() + SimDuration::seconds(3));
+  backend.fail_next = true;
+  world.engine.run_until(world.engine.now() + SimDuration::seconds(10));
+  runtime.stop();
+  EXPECT_EQ(runtime.wan_stats().failures, 1u);
+  // The stream keeps flowing after the loss.
+  EXPECT_GT(runtime.sink_stats(sink_).records, 0u);
+}
+
+TEST_F(GeoRuntimeFixture, OneBatchInFlightPerEdge) {
+  // With a very slow backend, flushes must queue, not overlap.
+  backend.delay = SimDuration::seconds(30);
+  RuntimeConfig config;
+  config.geo_batch_max_bytes = Bytes::kb(10);
+  config.geo_batch_max_delay = SimDuration::seconds(1);
+  StreamRuntime runtime(*world.provider, cross_site_graph(1000.0), backend, config);
+  runtime.start();
+  world.engine.run_until(world.engine.now() + SimDuration::seconds(45));
+  runtime.stop();
+  // 45 s / 30 s per send -> at most 2 sends despite dozens of flushes.
+  EXPECT_LE(backend.calls, 2);
+}
+
+TEST_F(GeoRuntimeFixture, WanLatencyDominatesEndToEnd) {
+  backend.delay = SimDuration::seconds(5);
+  RuntimeConfig config;
+  config.geo_batch_max_delay = SimDuration::millis(500);
+  StreamRuntime runtime(*world.provider, cross_site_graph(500.0), backend, config);
+  runtime.start();
+  world.engine.run_until(world.engine.now() + SimDuration::seconds(30));
+  runtime.stop();
+  const SinkStats& stats = runtime.sink_stats(sink_);
+  ASSERT_GT(stats.records, 0u);
+  EXPECT_GT(stats.latency_ms.quantile(0.5), 5000.0);
+}
+
+}  // namespace
+}  // namespace sage::stream

@@ -1,0 +1,174 @@
+// Tests for the Monitoring Agent service.
+#include "monitor/monitoring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "test_util.hpp"
+
+namespace sage::monitor {
+namespace {
+
+using cloud::Region;
+using cloud::VmSize;
+using sage::testing::StableWorld;
+
+constexpr Region kNEU = Region::kNorthEU;
+constexpr Region kNUS = Region::kNorthUS;
+constexpr Region kWEU = Region::kWestEU;
+
+struct MonitoringFixture : public ::testing::Test {
+  StableWorld world;
+  MonitorConfig config;
+
+  std::unique_ptr<MonitoringService> make(std::vector<Region> regions) {
+    auto service = std::make_unique<MonitoringService>(*world.provider, config);
+    for (Region r : regions) {
+      service->register_agent(r, world.provider->provision(r, VmSize::kSmall).id);
+    }
+    return service;
+  }
+};
+
+TEST_F(MonitoringFixture, ProbesProduceLinkEstimates) {
+  config.probe_interval = SimDuration::minutes(1);
+  auto service = make({kNEU, kNUS});
+  service->start();
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(20));
+
+  const LinkEstimate est = service->estimate(kNEU, kNUS);
+  ASSERT_TRUE(est.ready());
+  EXPECT_GT(est.samples, 5u);
+  // Stable topology: the estimate must sit at the per-flow TCP cap.
+  const double expected =
+      world.provider->topology().link(kNEU, kNUS).per_flow_cap.to_mb_per_sec();
+  EXPECT_NEAR(est.mean_mbps, expected, expected * 0.15);
+}
+
+TEST_F(MonitoringFixture, PairsRequireBothAgents) {
+  auto service = make({kNEU});
+  service->start();
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(30));
+  EXPECT_FALSE(service->estimate(kNEU, kNUS).ready());
+  EXPECT_EQ(service->probes_sent(), 0u);
+}
+
+TEST_F(MonitoringFixture, AgentAddedLaterStartsProbing) {
+  config.probe_interval = SimDuration::minutes(1);
+  auto service = make({kNEU});
+  service->start();
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(5));
+  service->register_agent(kNUS, world.provider->provision(kNUS, VmSize::kSmall).id);
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(15));
+  EXPECT_TRUE(service->estimate(kNEU, kNUS).ready());
+  EXPECT_TRUE(service->estimate(kNUS, kNEU).ready());
+}
+
+TEST_F(MonitoringFixture, SnapshotCoversAllMonitoredPairs) {
+  config.probe_interval = SimDuration::minutes(1);
+  auto service = make({kNEU, kNUS, kWEU});
+  service->start();
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(30));
+  const ThroughputMatrix m = service->snapshot();
+  for (Region a : {kNEU, kNUS, kWEU}) {
+    for (Region b : {kNEU, kNUS, kWEU}) {
+      if (a == b) continue;
+      EXPECT_TRUE(m.at(a, b).ready()) << cloud::region_name(a) << "->"
+                                      << cloud::region_name(b);
+    }
+  }
+  EXPECT_EQ(m.taken_at, world.engine.now());
+}
+
+TEST_F(MonitoringFixture, TransferObservationsFeedTheMap) {
+  auto service = make({kNEU, kNUS});
+  // No probing started: estimates can only come from reported observations.
+  service->report_transfer_observation(kNEU, kNUS, ByteRate::mb_per_sec(3.0));
+  service->report_transfer_observation(kNEU, kNUS, ByteRate::mb_per_sec(5.0));
+  const LinkEstimate est = service->estimate(kNEU, kNUS);
+  ASSERT_TRUE(est.ready());
+  EXPECT_EQ(est.samples, 2u);
+  EXPECT_GT(est.mean_mbps, 2.9);
+  EXPECT_LT(est.mean_mbps, 5.1);
+}
+
+TEST_F(MonitoringFixture, BusyLinkSuspendsProbes) {
+  config.probe_interval = SimDuration::seconds(30);
+  config.suspend_when_busy = true;
+  auto service = make({kNEU, kNUS});
+  service->start();
+  // Saturate the link with a long foreign transfer.
+  const auto a = world.provider->provision(kNEU, VmSize::kSmall);
+  const auto b = world.provider->provision(kNUS, VmSize::kSmall);
+  bool transfer_done = false;
+  world.provider->transfer(a.id, b.id, Bytes::mb(200), {},
+                           [&](const cloud::FlowResult&) { transfer_done = true; });
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(10));
+  EXPECT_GT(service->probes_suspended(), 0u);
+}
+
+TEST_F(MonitoringFixture, StopHaltsProbing) {
+  config.probe_interval = SimDuration::minutes(1);
+  auto service = make({kNEU, kNUS});
+  service->start();
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(10));
+  service->stop();
+  const auto sent = service->probes_sent();
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(30));
+  EXPECT_EQ(service->probes_sent(), sent);
+}
+
+TEST_F(MonitoringFixture, SampleHookSeesEverySample) {
+  config.probe_interval = SimDuration::minutes(1);
+  auto service = make({kNEU, kNUS});
+  int hook_calls = 0;
+  service->set_sample_hook(
+      [&](Region, Region, SimTime, double mbps) {
+        ++hook_calls;
+        EXPECT_GT(mbps, 0.0);
+      });
+  service->start();
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(10));
+  EXPECT_GT(hook_calls, 0);
+}
+
+TEST_F(MonitoringFixture, CpuEstimateIsNearNominal) {
+  config.cpu_probe_interval = SimDuration::minutes(1);
+  auto service = make({kNEU, kNUS});
+  service->start();
+  world.engine.run_until(world.engine.now() + SimDuration::hours(2));
+  const double cpu = service->cpu_estimate(kNEU);
+  EXPECT_GT(cpu, 0.6);
+  EXPECT_LT(cpu, 1.2);
+  // Unmonitored region falls back to nominal.
+  EXPECT_DOUBLE_EQ(service->cpu_estimate(Region::kWestUS), 1.0);
+}
+
+TEST_F(MonitoringFixture, HistoryExportsAsCsv) {
+  config.probe_interval = SimDuration::minutes(1);
+  auto service = make({kNEU, kNUS});
+  service->start();
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(10));
+  std::ostringstream csv;
+  const std::size_t rows = service->export_history_csv(csv);
+  EXPECT_GT(rows, 5u);
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("src,dst,time_s,mbps"), std::string::npos);
+  EXPECT_NE(text.find("NEU,NUS"), std::string::npos);
+  // One header + `rows` data lines.
+  EXPECT_EQ(static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n')),
+            rows + 1);
+}
+
+TEST_F(MonitoringFixture, EstimatorKindIsConfigurable) {
+  config.kind = EstimatorKind::kLastSample;
+  auto service = make({kNEU, kNUS});
+  service->report_transfer_observation(kNEU, kNUS, ByteRate::mb_per_sec(2.0));
+  service->report_transfer_observation(kNEU, kNUS, ByteRate::mb_per_sec(8.0));
+  EXPECT_DOUBLE_EQ(service->estimate(kNEU, kNUS).mean_mbps, 8.0);
+}
+
+}  // namespace
+}  // namespace sage::monitor

@@ -1,0 +1,225 @@
+// Tests for the multi-datacenter multi-path planner (Algorithm-1
+// reconstruction).
+#include "sched/multipath.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace sage::sched {
+namespace {
+
+using cloud::Region;
+
+constexpr Region kNEU = Region::kNorthEU;
+constexpr Region kWEU = Region::kWestEU;
+constexpr Region kNUS = Region::kNorthUS;
+constexpr Region kEUS = Region::kEastUS;
+constexpr Region kSUS = Region::kSouthUS;
+
+void set_link(monitor::ThroughputMatrix& m, Region a, Region b, double mbps) {
+  m.links[cloud::region_index(a)][cloud::region_index(b)] =
+      monitor::LinkEstimate{mbps, 0.0, 10};
+}
+
+Inventory inventory_of(int per_region) {
+  Inventory inv{};
+  inv.fill(per_region);
+  return inv;
+}
+
+TEST(PlannerMathTest, PathThroughputIsGeometricSum) {
+  PlannerParams params;
+  params.node_gain_decay = 0.5;
+  MultiPathPlanner planner(params);
+  EXPECT_DOUBLE_EQ(planner.path_throughput(8.0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(planner.path_throughput(8.0, 2), 12.0);
+  EXPECT_DOUBLE_EQ(planner.path_throughput(8.0, 3), 14.0);
+  EXPECT_DOUBLE_EQ(planner.marginal_throughput(8.0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(planner.marginal_throughput(8.0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(planner.marginal_throughput(8.0, 3), 2.0);
+}
+
+TEST(PlannerMathTest, DecayOneIsLinear) {
+  PlannerParams params;
+  params.node_gain_decay = 1.0;
+  MultiPathPlanner planner(params);
+  EXPECT_DOUBLE_EQ(planner.path_throughput(5.0, 4), 20.0);
+  EXPECT_DOUBLE_EQ(planner.marginal_throughput(5.0, 4), 5.0);
+}
+
+TEST(PlannerTest, EmptyMatrixYieldsEmptyPlan) {
+  MultiPathPlanner planner;
+  const auto plan = planner.plan(monitor::ThroughputMatrix{}, kNEU, kNUS,
+                                 inventory_of(4), 8);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.nodes_used, 0);
+}
+
+TEST(PlannerTest, SingleNodeBudgetUsesDirectSource) {
+  monitor::ThroughputMatrix m;
+  set_link(m, kNEU, kNUS, 5.0);
+  MultiPathPlanner planner;
+  const auto plan = planner.plan(m, kNEU, kNUS, inventory_of(4), 1);
+  ASSERT_EQ(plan.paths.size(), 1u);
+  EXPECT_TRUE(plan.paths[0].route.is_direct());
+  EXPECT_EQ(plan.paths[0].width, 1);
+  EXPECT_EQ(plan.nodes_used, 1);
+  EXPECT_DOUBLE_EQ(plan.total_mbps, 5.0);
+}
+
+TEST(PlannerTest, BudgetWidensTheDirectPathFirst) {
+  monitor::ThroughputMatrix m;
+  set_link(m, kNEU, kNUS, 5.0);
+  // A clearly worse alternative exists.
+  set_link(m, kNEU, kEUS, 1.0);
+  set_link(m, kEUS, kNUS, 1.0);
+  MultiPathPlanner planner;
+  const auto plan = planner.plan(m, kNEU, kNUS, inventory_of(8), 4);
+  ASSERT_GE(plan.paths.size(), 1u);
+  EXPECT_TRUE(plan.paths[0].route.is_direct());
+  EXPECT_GE(plan.paths[0].width, 3);
+  EXPECT_LE(plan.nodes_used, 4);
+}
+
+TEST(PlannerTest, OpensSecondPathWhenMarginalGainDrops) {
+  monitor::ThroughputMatrix m;
+  set_link(m, kNEU, kNUS, 5.0);
+  // A strong two-hop alternative via East US.
+  set_link(m, kNEU, kEUS, 6.0);
+  set_link(m, kEUS, kNUS, 10.0);
+  PlannerParams params;
+  params.node_gain_decay = 0.5;  // widening pays off quickly less and less
+  MultiPathPlanner planner(params);
+  const auto plan = planner.plan(m, kNEU, kNUS, inventory_of(8), 10);
+  ASSERT_GE(plan.paths.size(), 2u);
+  // The budget is spent across a relay path AND the direct path (the relay
+  // via East US is the widest and opens first; widening it decays fast, so
+  // the direct link joins as the second path).
+  int relay_paths = 0;
+  int direct_paths = 0;
+  for (const auto& p : plan.paths) {
+    (p.route.is_direct() ? direct_paths : relay_paths) += 1;
+  }
+  EXPECT_EQ(relay_paths, 1);
+  EXPECT_EQ(direct_paths, 1);
+  EXPECT_GT(plan.total_mbps, planner.path_throughput(6.0, 1));
+}
+
+TEST(PlannerTest, NeverExceedsNodeBudget) {
+  monitor::ThroughputMatrix m;
+  for (Region a : cloud::kAllRegions) {
+    for (Region b : cloud::kAllRegions) {
+      if (a != b) set_link(m, a, b, 4.0 + static_cast<double>(cloud::region_index(b)));
+    }
+  }
+  MultiPathPlanner planner;
+  for (int budget = 1; budget <= 20; ++budget) {
+    const auto plan = planner.plan(m, kNEU, kNUS, inventory_of(6), budget);
+    EXPECT_LE(plan.nodes_used, budget) << "budget " << budget;
+    EXPECT_FALSE(plan.empty());
+  }
+}
+
+TEST(PlannerTest, RespectsInventoryLimits) {
+  monitor::ThroughputMatrix m;
+  set_link(m, kNEU, kNUS, 5.0);
+  Inventory inv{};  // zero helpers anywhere
+  MultiPathPlanner planner;
+  const auto plan = planner.plan(m, kNEU, kNUS, inv, 10);
+  ASSERT_EQ(plan.paths.size(), 1u);
+  // Only the source VM itself: direct path at width 1.
+  EXPECT_EQ(plan.paths[0].width, 1);
+  EXPECT_EQ(plan.nodes_used, 1);
+}
+
+TEST(PlannerTest, ForwarderInventoryBoundsRelayPaths) {
+  monitor::ThroughputMatrix m;
+  set_link(m, kNEU, kNUS, 1.0);
+  set_link(m, kNEU, kEUS, 8.0);
+  set_link(m, kEUS, kNUS, 8.0);
+  Inventory inv{};
+  inv[cloud::region_index(kEUS)] = 2;  // only two forwarders available
+  inv[cloud::region_index(kNEU)] = 8;
+  MultiPathPlanner planner;
+  const auto plan = planner.plan(m, kNEU, kNUS, inv, 12);
+  for (const auto& p : plan.paths) {
+    if (!p.route.is_direct()) {
+      EXPECT_LE(p.width, 2);
+    }
+  }
+}
+
+TEST(PlannerTest, WiderPlansPredictMoreThroughput) {
+  monitor::ThroughputMatrix m;
+  for (Region a : cloud::kAllRegions) {
+    for (Region b : cloud::kAllRegions) {
+      if (a != b) set_link(m, a, b, 5.0);
+    }
+  }
+  MultiPathPlanner planner;
+  double prev = 0.0;
+  for (int budget : {1, 2, 4, 8, 16}) {
+    const auto plan = planner.plan(m, kNEU, kNUS, inventory_of(8), budget);
+    EXPECT_GE(plan.total_mbps, prev);
+    prev = plan.total_mbps;
+  }
+}
+
+TEST(PlannerTest, DirectPlanHelper) {
+  monitor::ThroughputMatrix m;
+  set_link(m, kNEU, kNUS, 5.0);
+  MultiPathPlanner planner;
+  const auto plan = planner.direct_plan(m, kNEU, kNUS, inventory_of(2), 5);
+  ASSERT_EQ(plan.paths.size(), 1u);
+  EXPECT_TRUE(plan.paths[0].route.is_direct());
+  EXPECT_EQ(plan.paths[0].width, 3);  // source + two helpers
+}
+
+TEST(PlannerTest, WidestSinglePathHelperRoutesAroundWeakDirect) {
+  monitor::ThroughputMatrix m;
+  set_link(m, kNEU, kNUS, 1.0);
+  set_link(m, kNEU, kWEU, 9.0);
+  set_link(m, kWEU, kNUS, 8.0);
+  MultiPathPlanner planner;
+  // 4 nodes buy two width units on a one-intermediate route (sender +
+  // forwarder per unit).
+  const auto plan = planner.widest_single_path_plan(m, kNEU, kNUS, inventory_of(4), 4);
+  ASSERT_EQ(plan.paths.size(), 1u);
+  EXPECT_EQ(plan.paths[0].route.regions, (std::vector<Region>{kNEU, kWEU, kNUS}));
+  EXPECT_EQ(plan.paths[0].width, 2);
+  EXPECT_EQ(plan.nodes_used, 4);
+}
+
+TEST(PlannerTest, PlanDeterministicForSameInputs) {
+  monitor::ThroughputMatrix m;
+  for (Region a : cloud::kAllRegions) {
+    for (Region b : cloud::kAllRegions) {
+      if (a != b) {
+        set_link(m, a, b,
+                 3.0 + static_cast<double>((cloud::region_index(a) * 7 +
+                                            cloud::region_index(b) * 3) %
+                                           5));
+      }
+    }
+  }
+  MultiPathPlanner planner;
+  const auto p1 = planner.plan(m, kNEU, kSUS, inventory_of(5), 9);
+  const auto p2 = planner.plan(m, kNEU, kSUS, inventory_of(5), 9);
+  ASSERT_EQ(p1.paths.size(), p2.paths.size());
+  EXPECT_EQ(p1.nodes_used, p2.nodes_used);
+  EXPECT_DOUBLE_EQ(p1.total_mbps, p2.total_mbps);
+  for (std::size_t i = 0; i < p1.paths.size(); ++i) {
+    EXPECT_EQ(p1.paths[i].route.regions, p2.paths[i].route.regions);
+    EXPECT_EQ(p1.paths[i].width, p2.paths[i].width);
+  }
+}
+
+TEST(PlannerTest, RejectsNonPositiveBudget) {
+  MultiPathPlanner planner;
+  EXPECT_THROW(planner.plan(monitor::ThroughputMatrix{}, kNEU, kNUS, inventory_of(1), 0),
+               CheckFailure);
+}
+
+}  // namespace
+}  // namespace sage::sched

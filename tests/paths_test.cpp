@@ -1,0 +1,137 @@
+// Tests for widest-path routing over the throughput map.
+#include "sched/paths.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sage::sched {
+namespace {
+
+using cloud::Region;
+
+constexpr Region kNEU = Region::kNorthEU;
+constexpr Region kWEU = Region::kWestEU;
+constexpr Region kNUS = Region::kNorthUS;
+constexpr Region kSUS = Region::kSouthUS;
+constexpr Region kEUS = Region::kEastUS;
+
+monitor::ThroughputMatrix empty_matrix() { return monitor::ThroughputMatrix{}; }
+
+void set_link(monitor::ThroughputMatrix& m, Region a, Region b, double mbps) {
+  m.links[cloud::region_index(a)][cloud::region_index(b)] =
+      monitor::LinkEstimate{mbps, 0.0, 10};
+}
+
+void set_symmetric(monitor::ThroughputMatrix& m, Region a, Region b, double mbps) {
+  set_link(m, a, b, mbps);
+  set_link(m, b, a, mbps);
+}
+
+TEST(WidestPathTest, PrefersDirectWhenItIsWidest) {
+  auto m = empty_matrix();
+  set_link(m, kNEU, kNUS, 10.0);
+  set_link(m, kNEU, kEUS, 4.0);
+  set_link(m, kEUS, kNUS, 20.0);
+  const auto path = widest_path(m, kNEU, kNUS);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->regions, (std::vector<Region>{kNEU, kNUS}));
+  EXPECT_DOUBLE_EQ(path->bottleneck_mbps, 10.0);
+  EXPECT_TRUE(path->is_direct());
+}
+
+TEST(WidestPathTest, RoutesAroundNarrowDirectLink) {
+  auto m = empty_matrix();
+  set_link(m, kNEU, kNUS, 2.0);
+  set_link(m, kNEU, kEUS, 8.0);
+  set_link(m, kEUS, kNUS, 9.0);
+  const auto path = widest_path(m, kNEU, kNUS);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->regions, (std::vector<Region>{kNEU, kEUS, kNUS}));
+  EXPECT_DOUBLE_EQ(path->bottleneck_mbps, 8.0);
+  EXPECT_EQ(path->intermediate_count(), 1u);
+}
+
+TEST(WidestPathTest, FindsTwoHopChains) {
+  auto m = empty_matrix();
+  set_link(m, kNEU, kWEU, 12.0);
+  set_link(m, kWEU, kEUS, 10.0);
+  set_link(m, kEUS, kNUS, 11.0);
+  set_link(m, kNEU, kNUS, 1.0);
+  const auto path = widest_path(m, kNEU, kNUS);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->regions, (std::vector<Region>{kNEU, kWEU, kEUS, kNUS}));
+  EXPECT_DOUBLE_EQ(path->bottleneck_mbps, 10.0);
+}
+
+TEST(WidestPathTest, NoDataMeansNoPath) {
+  const auto path = widest_path(empty_matrix(), kNEU, kNUS);
+  EXPECT_FALSE(path.has_value());
+}
+
+TEST(WidestPathTest, MinSamplesGatesEdges) {
+  auto m = empty_matrix();
+  m.links[cloud::region_index(kNEU)][cloud::region_index(kNUS)] =
+      monitor::LinkEstimate{10.0, 0.0, 2};
+  PathQueryOptions options;
+  options.min_samples = 5;
+  EXPECT_FALSE(widest_path(m, kNEU, kNUS, options).has_value());
+  options.min_samples = 1;
+  EXPECT_TRUE(widest_path(m, kNEU, kNUS, options).has_value());
+}
+
+TEST(WidestPathTest, ExcludeDirectEdgeForcesRelay) {
+  auto m = empty_matrix();
+  set_link(m, kNEU, kNUS, 10.0);
+  set_link(m, kNEU, kEUS, 6.0);
+  set_link(m, kEUS, kNUS, 6.0);
+  PathQueryOptions options;
+  options.exclude_direct_edge = true;
+  const auto path = widest_path(m, kNEU, kNUS, options);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->regions, (std::vector<Region>{kNEU, kEUS, kNUS}));
+}
+
+TEST(WidestPathTest, UnusableRegionIsAvoided) {
+  auto m = empty_matrix();
+  set_link(m, kNEU, kNUS, 2.0);
+  set_link(m, kNEU, kEUS, 8.0);
+  set_link(m, kEUS, kNUS, 9.0);
+  set_link(m, kNEU, kSUS, 7.0);
+  set_link(m, kSUS, kNUS, 7.0);
+  PathQueryOptions options;
+  options.usable[cloud::region_index(kEUS)] = false;
+  const auto path = widest_path(m, kNEU, kNUS, options);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->regions, (std::vector<Region>{kNEU, kSUS, kNUS}));
+  EXPECT_DOUBLE_EQ(path->bottleneck_mbps, 7.0);
+}
+
+TEST(WidestPathTest, SourceAndDestinationAlwaysAllowed) {
+  auto m = empty_matrix();
+  set_symmetric(m, kNEU, kNUS, 5.0);
+  PathQueryOptions options;
+  options.usable.fill(false);
+  const auto path = widest_path(m, kNEU, kNUS, options);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(path->is_direct());
+}
+
+TEST(WidestPathTest, DirectionalityMatters) {
+  auto m = empty_matrix();
+  set_link(m, kNEU, kNUS, 5.0);  // only the forward direction exists
+  EXPECT_TRUE(widest_path(m, kNEU, kNUS).has_value());
+  EXPECT_FALSE(widest_path(m, kNUS, kNEU).has_value());
+}
+
+TEST(WidestPathTest, HopCountAccessors) {
+  auto m = empty_matrix();
+  set_link(m, kNEU, kEUS, 8.0);
+  set_link(m, kEUS, kNUS, 9.0);
+  const auto path = widest_path(m, kNEU, kNUS);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hop_count(), 2u);
+  EXPECT_EQ(path->intermediate_count(), 1u);
+  EXPECT_FALSE(path->is_direct());
+}
+
+}  // namespace
+}  // namespace sage::sched

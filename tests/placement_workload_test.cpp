@@ -1,0 +1,170 @@
+// Tests for operator placement and the workload generators.
+#include <gtest/gtest.h>
+
+#include "baselines/backends.hpp"
+#include "core/placement.hpp"
+#include "test_util.hpp"
+#include "workload/workloads.hpp"
+
+namespace sage {
+namespace {
+
+using cloud::Region;
+using sage::testing::StableWorld;
+using stream::JobGraph;
+using stream::SourceSpec;
+using stream::VertexKind;
+
+constexpr Region kNEU = Region::kNorthEU;
+constexpr Region kWEU = Region::kWestEU;
+constexpr Region kNUS = Region::kNorthUS;
+
+TEST(PlacementTest, SingleSiteChainStaysLocal) {
+  JobGraph g;
+  const auto src = g.add_source("s", kWEU, SourceSpec{});
+  const auto f = g.add_operator("f", kNUS,  // deliberately mis-pinned
+                                stream::make_filter("f", [](const stream::Record&) {
+                                  return true;
+                                }));
+  const auto sink = g.add_sink("k", kNUS);
+  g.connect(src, f);
+  g.connect(f, sink);
+  core::auto_place(g, kNUS);
+  // The filter's only input comes from WEU: it must move there, shrinking
+  // the stream before the WAN hop.
+  EXPECT_EQ(g.vertex(f).site, kWEU);
+  EXPECT_EQ(g.vertex(src).site, kWEU);   // sources never move
+  EXPECT_EQ(g.vertex(sink).site, kNUS);  // sinks never move
+}
+
+TEST(PlacementTest, MergingOperatorGoesToAggregationSite) {
+  JobGraph g;
+  const auto s1 = g.add_source("s1", kWEU, SourceSpec{});
+  const auto s2 = g.add_source("s2", kNEU, SourceSpec{});
+  const auto merge = g.add_operator(
+      "m", kWEU,
+      stream::make_window_aggregate("m", SimDuration::seconds(10),
+                                    stream::AggregateFn::kSum));
+  const auto sink = g.add_sink("k", kNUS);
+  g.connect(s1, merge);
+  g.connect(s2, merge);
+  g.connect(merge, sink);
+  core::auto_place(g, kNUS);
+  EXPECT_EQ(g.vertex(merge).site, kNUS);
+}
+
+TEST(PlacementTest, PlacementPropagatesThroughChains) {
+  JobGraph g;
+  const auto src = g.add_source("s", kWEU, SourceSpec{});
+  const auto a = g.add_operator("a", kNUS, stream::make_filter("a", [](const auto&) {
+    return true;
+  }));
+  const auto b = g.add_operator("b", kNUS, stream::make_filter("b", [](const auto&) {
+    return true;
+  }));
+  const auto sink = g.add_sink("k", kNUS);
+  g.connect(src, a);
+  g.connect(a, b);
+  g.connect(b, sink);
+  core::auto_place(g, kNUS);
+  EXPECT_EQ(g.vertex(a).site, kWEU);
+  EXPECT_EQ(g.vertex(b).site, kWEU);
+}
+
+TEST(PlacementTest, LocalityReducesEstimatedWanBytes) {
+  auto build = [](bool good_placement) {
+    JobGraph g;
+    SourceSpec spec;
+    spec.records_per_sec = 1000.0;
+    spec.record_size = Bytes::of(200);
+    const auto src = g.add_source("s", kWEU, spec);
+    const auto agg = g.add_operator(
+        "w", good_placement ? kWEU : kNUS,
+        stream::make_window_aggregate("w", SimDuration::seconds(10),
+                                      stream::AggregateFn::kMean));
+    const auto sink = g.add_sink("k", kNUS);
+    g.connect(src, agg);
+    g.connect(agg, sink);
+    return g;
+  };
+  const double bad = core::estimate_wan_bytes_per_sec(build(false));
+  const double good = core::estimate_wan_bytes_per_sec(build(true));
+  EXPECT_LT(good, bad * 0.2);
+}
+
+TEST(WorkloadTest, SensorGridGraphShape) {
+  workload::SensorGridParams params;
+  params.sites = {kNEU, kWEU, kNUS};
+  params.aggregation_site = kNUS;
+  const JobGraph g = workload::make_sensor_grid_job(params);
+  int sources = 0;
+  int sinks = 0;
+  for (const auto& v : g.vertices()) {
+    sources += v.kind == VertexKind::kSource ? 1 : 0;
+    sinks += v.kind == VertexKind::kSink ? 1 : 0;
+  }
+  EXPECT_EQ(sources, 3);
+  EXPECT_EQ(sinks, 1);
+  // One WAN edge per non-aggregation site (the NUS site is local).
+  EXPECT_EQ(g.wan_edges().size(), 2u);
+}
+
+TEST(WorkloadTest, ClickstreamGraphValidates) {
+  workload::ClickstreamParams params;
+  const JobGraph g = workload::make_clickstream_job(params);
+  EXPECT_NO_THROW(g.validate());
+  EXPECT_GE(g.wan_edges().size(), 2u);
+}
+
+TEST(WorkloadTest, MetaReduceMovesEveryFile) {
+  StableWorld world;
+  baselines::GatewayPool pool(*world.provider);
+  baselines::DirectBackend backend(pool);
+  workload::MetaReduceParams params;
+  params.sites = {kNEU, kWEU};
+  params.reducer_site = kNUS;
+  params.files_per_site = 40;
+  params.file_size = Bytes::kb(100);
+  params.concurrency_per_site = 4;
+
+  bool done = false;
+  workload::MetaReduceResult result{};
+  workload::run_metareduce(world.engine, backend, params,
+                           [&](const workload::MetaReduceResult& r) {
+                             result = r;
+                             done = true;
+                           });
+  ASSERT_TRUE(sage::testing::run_until(world.engine, [&] { return done; },
+                                       SimDuration::hours(12)));
+  EXPECT_EQ(result.files_moved, 80u);
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_GT(result.total_time.to_seconds(), 1.0);
+}
+
+TEST(WorkloadTest, MetaReduceConcurrencyShortensTime) {
+  auto run = [](int concurrency) {
+    StableWorld world;
+    baselines::GatewayPool pool(*world.provider);
+    baselines::DirectBackend backend(pool);
+    workload::MetaReduceParams params;
+    params.sites = {kNEU};
+    params.reducer_site = kNUS;
+    params.files_per_site = 30;
+    params.file_size = Bytes::kb(500);
+    params.concurrency_per_site = concurrency;
+    bool done = false;
+    workload::MetaReduceResult result{};
+    workload::run_metareduce(world.engine, backend, params,
+                             [&](const workload::MetaReduceResult& r) {
+                               result = r;
+                               done = true;
+                             });
+    EXPECT_TRUE(sage::testing::run_until(world.engine, [&] { return done; },
+                                         SimDuration::hours(12)));
+    return result.total_time;
+  };
+  EXPECT_GT(run(1), run(8) * 1.5);
+}
+
+}  // namespace
+}  // namespace sage

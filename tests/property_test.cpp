@@ -1,0 +1,280 @@
+// Property-based suites (parameterized gtest): invariants that must hold
+// across seeds, sizes, budgets and parameter sweeps.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cloud/fabric.hpp"
+#include "cloud/topology.hpp"
+#include "common/rng.hpp"
+#include "model/tradeoff.hpp"
+#include "monitor/estimator.hpp"
+#include "net/transfer.hpp"
+#include "sched/multipath.hpp"
+#include "test_util.hpp"
+
+namespace sage {
+namespace {
+
+using cloud::Region;
+using sage::testing::StableWorld;
+using sage::testing::run_until;
+
+// ---------------------------------------------------------------------------
+// Fabric conservation: whatever the seed and flow mix, completed flows
+// deliver exactly their size, and egress equals the sum of cross-region
+// deliveries.
+// ---------------------------------------------------------------------------
+
+class FabricConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FabricConservation, BytesAreConserved) {
+  sim::SimEngine engine;
+  cloud::Fabric fabric(engine, cloud::default_topology(), GetParam());
+  Rng rng(GetParam() ^ 0xabcdef);
+
+  std::vector<cloud::NodeId> nodes;
+  for (Region r : cloud::kAllRegions) {
+    for (int i = 0; i < 2; ++i) {
+      nodes.push_back(fabric.add_node(r, ByteRate::megabits_per_sec(100),
+                                      ByteRate::megabits_per_sec(100)));
+    }
+  }
+
+  Bytes expected_egress = Bytes::zero();
+  Bytes delivered = Bytes::zero();
+  int done = 0;
+  const int kFlows = 24;
+  for (int i = 0; i < kFlows; ++i) {
+    const auto src = nodes[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 1))];
+    auto dst = src;
+    while (dst == src) {
+      dst = nodes[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(nodes.size()) - 1))];
+    }
+    const Bytes size = Bytes::mb(rng.uniform(1.0, 20.0));
+    if (fabric.node_region(src) != fabric.node_region(dst)) expected_egress += size;
+    fabric.start_flow(src, dst, size, {}, [&, size](const cloud::FlowResult& r) {
+      EXPECT_TRUE(r.ok());
+      EXPECT_EQ(r.transferred, size);
+      delivered += r.transferred;
+      ++done;
+    });
+  }
+  ASSERT_TRUE(run_until(engine, [&] { return done == kFlows; }, SimDuration::hours(6)));
+
+  Bytes total_egress = Bytes::zero();
+  for (Region r : cloud::kAllRegions) total_egress += fabric.egress_from(r);
+  // Egress counters integrate rate*dt with per-tick rounding; allow a
+  // byte-level tolerance per flow.
+  EXPECT_NEAR(total_egress.to_mb(), expected_egress.to_mb(), 0.01);
+  EXPECT_GT(delivered, Bytes::zero());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FabricConservation,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+// ---------------------------------------------------------------------------
+// Fabric fairness: at every settle point, no flow exceeds its demand cap or
+// the pair link's per-flow ceiling.
+// ---------------------------------------------------------------------------
+
+class FabricCeilings : public ::testing::TestWithParam<int> {};
+
+TEST_P(FabricCeilings, RatesNeverExceedCeilings) {
+  const int flows = GetParam();
+  StableWorld world;
+  auto& provider = *world.provider;
+  const auto a = provider.provision_many(Region::kNorthEU, cloud::VmSize::kSmall, flows);
+  const auto b = provider.provision_many(Region::kNorthUS, cloud::VmSize::kSmall, flows);
+  const double flow_cap = provider.topology()
+                              .link(Region::kNorthEU, Region::kNorthUS)
+                              .per_flow_cap.to_mb_per_sec();
+
+  std::vector<cloud::FlowId> ids;
+  int done = 0;
+  for (int i = 0; i < flows; ++i) {
+    ids.push_back(provider.transfer(a[static_cast<std::size_t>(i)].id,
+                                    b[static_cast<std::size_t>(i)].id, Bytes::mb(30), {},
+                                    [&](const cloud::FlowResult&) { ++done; }));
+  }
+  for (int step = 0; step < 20 && done < flows; ++step) {
+    world.engine.run_until(world.engine.now() + SimDuration::seconds(1));
+    for (const auto id : ids) {
+      const double rate = provider.fabric().flow_rate(id).to_mb_per_sec();
+      EXPECT_LE(rate, flow_cap * 1.0001);
+    }
+  }
+  ASSERT_TRUE(run_until(world.engine, [&] { return done == flows; }, SimDuration::hours(4)));
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowCounts, FabricCeilings, ::testing::Values(1, 2, 4, 8, 16));
+
+// ---------------------------------------------------------------------------
+// Transfer completeness: across chunk sizes and stream counts, every byte
+// arrives exactly once (dedup absorbs any retransmit races).
+// ---------------------------------------------------------------------------
+
+class TransferMatrix
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, int>> {};
+
+TEST_P(TransferMatrix, DeliversExactlyOnce) {
+  const auto [chunk_kb, streams] = GetParam();
+  StableWorld world;
+  auto& provider = *world.provider;
+  const auto a = provider.provision(Region::kNorthEU, cloud::VmSize::kSmall);
+  const auto b = provider.provision(Region::kNorthUS, cloud::VmSize::kSmall);
+
+  net::TransferConfig config;
+  config.chunk_size = Bytes::kb(static_cast<double>(chunk_kb));
+  config.streams_per_hop = streams;
+  const Bytes size = Bytes::mb(11);  // deliberately not chunk-aligned
+
+  net::TransferResult result{};
+  bool done = false;
+  net::GeoTransfer t(provider, size, net::direct_lane(a.id, b.id), config,
+                     [&](const net::TransferResult& r) {
+                       result = r;
+                       done = true;
+                     });
+  t.start();
+  ASSERT_TRUE(run_until(world.engine, [&] { return done; }, SimDuration::hours(6)));
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.size, size);
+  EXPECT_EQ(result.stats.chunks_delivered, result.stats.chunks_total);
+  const auto expected_chunks =
+      (size.count() + config.chunk_size.count() - 1) / config.chunk_size.count();
+  EXPECT_EQ(result.stats.chunks_total, static_cast<int>(expected_chunks));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChunkAndStreams, TransferMatrix,
+    ::testing::Combine(::testing::Values<std::int64_t>(256, 1024, 4096, 16384),
+                       ::testing::Values(1, 2, 4)));
+
+// ---------------------------------------------------------------------------
+// Estimator invariants across kinds and seeds: mean within observed range,
+// stddev non-negative and bounded by the range.
+// ---------------------------------------------------------------------------
+
+class EstimatorBounds
+    : public ::testing::TestWithParam<std::tuple<monitor::EstimatorKind, std::uint64_t>> {
+};
+
+TEST_P(EstimatorBounds, MeanStaysWithinObservedRange) {
+  const auto [kind, seed] = GetParam();
+  auto estimator = monitor::make_estimator(kind, monitor::EstimatorConfig{});
+  Rng rng(seed);
+  double lo = 1e300;
+  double hi = -1e300;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(1.0, 25.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    estimator->add_sample(SimTime::epoch() + SimDuration::minutes(i), v);
+    EXPECT_GE(estimator->mean(), lo - 1e-9);
+    EXPECT_LE(estimator->mean(), hi + 1e-9);
+    EXPECT_GE(estimator->stddev(), 0.0);
+    EXPECT_LE(estimator->stddev(), (hi - lo) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndSeeds, EstimatorBounds,
+    ::testing::Combine(::testing::Values(monitor::EstimatorKind::kLastSample,
+                                         monitor::EstimatorKind::kLinear,
+                                         monitor::EstimatorKind::kWeighted),
+                       ::testing::Values(3u, 17u, 4242u)));
+
+// ---------------------------------------------------------------------------
+// Planner invariants across budgets: node budget respected, inventory never
+// overdrawn, predicted throughput monotone in budget.
+// ---------------------------------------------------------------------------
+
+class PlannerBudgets : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlannerBudgets, PlanStaysFeasible) {
+  const int budget = GetParam();
+  monitor::ThroughputMatrix m;
+  Rng rng(5);
+  for (Region a : cloud::kAllRegions) {
+    for (Region b : cloud::kAllRegions) {
+      if (a == b) continue;
+      m.links[cloud::region_index(a)][cloud::region_index(b)] =
+          monitor::LinkEstimate{rng.uniform(2.0, 12.0), 0.5, 20};
+    }
+  }
+  sched::Inventory inventory;
+  inventory.fill(4);
+  sched::MultiPathPlanner planner;
+  const auto plan =
+      planner.plan(m, Region::kNorthEU, Region::kNorthUS, inventory, budget);
+
+  EXPECT_LE(plan.nodes_used, budget);
+  // Recompute inventory usage from the plan itself.
+  std::array<int, cloud::kRegionCount> used{};
+  bool first_lane = true;
+  for (const auto& p : plan.paths) {
+    for (int w = 0; w < p.width; ++w) {
+      if (!first_lane) ++used[cloud::region_index(p.route.regions.front())];
+      first_lane = false;
+      for (std::size_t i = 1; i + 1 < p.route.regions.size(); ++i) {
+        ++used[cloud::region_index(p.route.regions[i])];
+      }
+    }
+  }
+  for (Region r : cloud::kAllRegions) {
+    EXPECT_LE(used[cloud::region_index(r)], inventory[cloud::region_index(r)])
+        << cloud::region_name(r);
+  }
+  // Paths never repeat an intermediate region.
+  for (const auto& p : plan.paths) {
+    for (std::size_t i = 0; i < p.route.regions.size(); ++i) {
+      for (std::size_t j = i + 1; j < p.route.regions.size(); ++j) {
+        EXPECT_NE(p.route.regions[i], p.route.regions[j]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, PlannerBudgets,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Tradeoff solver invariants across sizes and throughputs.
+// ---------------------------------------------------------------------------
+
+class SolverSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SolverSweep, FrontierIsMonotone) {
+  const auto [gb, mbps] = GetParam();
+  const model::CostModel model(cloud::PricingModel{}, model::ModelParams{});
+  const model::TradeoffSolver solver(model);
+  model::TradeoffInputs inputs;
+  inputs.size = Bytes::gb(gb);
+  inputs.link = monitor::LinkEstimate{mbps, mbps * 0.1, 30};
+  inputs.max_nodes = 12;
+  const auto frontier = solver.frontier(inputs);
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    EXPECT_LT(frontier[i].time, frontier[i - 1].time);
+    // Monotone up to integer micro-USD truncation of the two cost shares.
+    EXPECT_GE(frontier[i].vm_cost() + Money::micro_usd(8), frontier[i - 1].vm_cost());
+    EXPECT_EQ(frontier[i].egress_cost, frontier[i - 1].egress_cost);
+  }
+  // resolve() output always lies on the frontier and satisfies caps when
+  // feasible.
+  model::Tradeoff t;
+  t.budget = frontier[frontier.size() / 2].total_cost();
+  const auto e = solver.resolve(inputs, t);
+  EXPECT_LE(e.total_cost(), t.budget);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndRates, SolverSweep,
+    ::testing::Combine(::testing::Values(0.1, 1.0, 10.0),
+                       ::testing::Values(2.0, 5.0, 20.0)));
+
+}  // namespace
+}  // namespace sage

@@ -1,0 +1,234 @@
+// Failure-injection and resilience scenarios across module boundaries.
+#include <gtest/gtest.h>
+
+#include "core/sage.hpp"
+#include "stream/operator.hpp"
+#include "test_util.hpp"
+
+namespace sage {
+namespace {
+
+using cloud::Region;
+using cloud::VmSize;
+using sage::testing::StableWorld;
+using sage::testing::run_until;
+
+constexpr Region kNEU = Region::kNorthEU;
+constexpr Region kWEU = Region::kWestEU;
+constexpr Region kNUS = Region::kNorthUS;
+
+TEST(MonitoringResilienceTest, AgentFailureStopsProbesWithoutCrashing) {
+  StableWorld world;
+  auto& provider = *world.provider;
+  monitor::MonitorConfig config;
+  config.probe_interval = SimDuration::minutes(1);
+  monitor::MonitoringService service(provider, config);
+  const auto a = provider.provision(kNEU, VmSize::kSmall);
+  const auto b = provider.provision(kNUS, VmSize::kSmall);
+  service.register_agent(kNEU, a.id);
+  service.register_agent(kNUS, b.id);
+  service.start();
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(10));
+  const auto before = service.estimate(kNEU, kNUS);
+  ASSERT_TRUE(before.ready());
+
+  provider.fail_vm(b.id);
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(20));
+  // No new samples (the dead agent cannot receive probes), no crash, and
+  // the last known estimate remains queryable.
+  const auto after = service.estimate(kNEU, kNUS);
+  EXPECT_EQ(after.samples, before.samples);
+  EXPECT_GT(after.mean_mbps, 0.0);
+}
+
+TEST(MonitoringResilienceTest, ReplacementAgentResumesProbing) {
+  StableWorld world;
+  auto& provider = *world.provider;
+  monitor::MonitorConfig config;
+  config.probe_interval = SimDuration::minutes(1);
+  monitor::MonitoringService service(provider, config);
+  const auto a = provider.provision(kNEU, VmSize::kSmall);
+  const auto b = provider.provision(kNUS, VmSize::kSmall);
+  service.register_agent(kNEU, a.id);
+  service.register_agent(kNUS, b.id);
+  service.start();
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(5));
+  provider.fail_vm(b.id);
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(5));
+  const auto stalled = service.estimate(kNEU, kNUS).samples;
+
+  // The deployment replaces the dead agent; probing must pick back up.
+  service.register_agent(kNUS, provider.provision(kNUS, VmSize::kSmall).id);
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(10));
+  EXPECT_GT(service.estimate(kNEU, kNUS).samples, stalled);
+}
+
+TEST(SageResilienceTest, HelperFailureMidTransferStillDelivers) {
+  StableWorld world;
+  core::SageConfig config;
+  config.regions = {kNEU, kWEU, kNUS};
+  config.helpers_per_region = 3;
+  config.monitoring.probe_interval = SimDuration::minutes(1);
+  core::SageEngine engine(*world.provider, config);
+  engine.deploy();
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(10));
+
+  bool done = false;
+  bool ok = false;
+  engine.send(kNEU, kNUS, Bytes::mb(200), [&](const stream::SendOutcome& o) {
+    ok = o.ok;
+    done = true;
+  });
+  // Kill one of the engine's helper VMs mid-flight. The transfer must
+  // re-route its chunks through the surviving lanes.
+  world.engine.schedule_after(SimDuration::seconds(5), [&] {
+    auto& provider = *world.provider;
+    // Find an active Small VM in NEU that is not the gateway (the gateway
+    // is the oldest NEU VM, provisioned at deploy()).
+    bool first_neu_seen = false;
+    for (cloud::VmId id = 0; id < provider.vm_count(); ++id) {
+      if (!provider.is_active(id)) continue;
+      const auto& vm = provider.vm(id);
+      if (vm.region != kNEU) continue;
+      if (!first_neu_seen) {
+        first_neu_seen = true;  // the gateway/agent: spare it
+        continue;
+      }
+      provider.fail_vm(id);
+      break;
+    }
+  });
+  ASSERT_TRUE(run_until(world.engine, [&] { return done; }, SimDuration::hours(6)));
+  EXPECT_TRUE(ok);
+  ASSERT_EQ(engine.history().size(), 1u);
+  EXPECT_GT(engine.history()[0].stats.hop_failures, 0);
+}
+
+TEST(StreamResilienceTest, WanBackendFailureDoesNotStallJob) {
+  // A streaming job whose WAN backend loses its destination gateway: the
+  // affected batches are counted as failures and the job keeps running.
+  StableWorld world;
+  core::SageConfig config;
+  config.regions = {kNEU, kNUS};
+  config.monitoring.probe_interval = SimDuration::minutes(1);
+  core::SageEngine engine(*world.provider, config);
+  engine.deploy();
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(5));
+
+  stream::JobGraph g;
+  stream::SourceSpec spec;
+  spec.records_per_sec = 2000.0;
+  const auto src = g.add_source("s", kNEU, spec);
+  const auto sink = g.add_sink("k", kNUS);
+  g.connect(src, sink);
+
+  stream::RuntimeConfig runtime_config;
+  runtime_config.geo_batch_max_delay = SimDuration::millis(500);
+  auto runtime = engine.run_job(std::move(g), runtime_config);
+  runtime->start();
+  world.engine.run_until(world.engine.now() + SimDuration::seconds(30));
+  const auto delivered_before = runtime->sink_stats(sink).records;
+  EXPECT_GT(delivered_before, 0u);
+
+  // Kill the NUS gateway: sends now fail (SAGE falls back to a failed
+  // transfer, not a hang).
+  auto& provider = *world.provider;
+  for (cloud::VmId id = 0; id < provider.vm_count(); ++id) {
+    if (provider.is_active(id) && provider.vm(id).region == kNUS) {
+      provider.fail_vm(id);
+      break;
+    }
+  }
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(2));
+  runtime->stop();
+  EXPECT_GT(runtime->wan_stats().failures, 0u);
+  // The source side never dead-locked: batches kept being attempted.
+  EXPECT_GT(runtime->wan_stats().batches,
+            runtime->wan_stats().failures);
+}
+
+TEST(SageResilienceTest, SelfHealingReplacesDeadGatewayAndRecovers) {
+  StableWorld world;
+  core::SageConfig config;
+  config.regions = {kNEU, kNUS};
+  config.monitoring.probe_interval = SimDuration::minutes(1);
+  config.health_check_interval = SimDuration::seconds(30);
+  core::SageEngine engine(*world.provider, config);
+  engine.deploy();
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(5));
+
+  // Kill the NUS gateway outright.
+  auto& provider = *world.provider;
+  for (cloud::VmId id = 0; id < provider.vm_count(); ++id) {
+    if (provider.is_active(id) && provider.vm(id).region == kNUS) {
+      provider.fail_vm(id);
+      break;
+    }
+  }
+  // Let the health loop notice and replace it, and the map re-warm.
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(5));
+  EXPECT_GT(engine.vms_healed(), 0u);
+
+  bool done = false;
+  bool ok = false;
+  engine.send(kNEU, kNUS, Bytes::mb(20), [&](const stream::SendOutcome& o) {
+    ok = o.ok;
+    done = true;
+  });
+  ASSERT_TRUE(run_until(world.engine, [&] { return done; }, SimDuration::hours(2)));
+  EXPECT_TRUE(ok);
+}
+
+TEST(DeterminismTest, IdenticalSeedsReproduceDisseminationExactly) {
+  auto run = [] {
+    StableWorld world(/*seed=*/99);
+    core::SageConfig config;
+    config.regions = {kNEU, kWEU, kNUS};
+    config.monitoring.probe_interval = SimDuration::minutes(1);
+    core::SageEngine engine(*world.provider, config);
+    engine.deploy();
+    world.engine.run_until(world.engine.now() + SimDuration::minutes(10));
+    SimDuration elapsed;
+    bool done = false;
+    engine.disseminate(kNEU, {kWEU, kNUS}, Bytes::mb(64),
+                       [&](const core::SageEngine::DisseminateResult& r) {
+                         elapsed = r.elapsed;
+                         done = true;
+                       });
+    EXPECT_TRUE(sage::testing::run_until(world.engine, [&] { return done; },
+                                         SimDuration::hours(6)));
+    return elapsed;
+  };
+  EXPECT_EQ(run().count_micros(), run().count_micros());
+}
+
+TEST(DeterminismTest, IdenticalSeedsReproduceStreamingExactly) {
+  auto run = [] {
+    StableWorld world(/*seed=*/7);
+    core::SageConfig config;
+    config.regions = {kNEU, kNUS};
+    core::SageEngine engine(*world.provider, config);
+    engine.deploy();
+    stream::JobGraph g;
+    stream::SourceSpec spec;
+    spec.records_per_sec = 1500.0;
+    const auto src = g.add_source("s", kNEU, spec);
+    const auto agg = g.add_operator(
+        "w", kNEU,
+        stream::make_window_aggregate("w", SimDuration::seconds(5),
+                                      stream::AggregateFn::kSum));
+    const auto sink = g.add_sink("k", kNUS);
+    g.connect(src, agg);
+    g.connect(agg, sink);
+    auto runtime = engine.run_job(std::move(g));
+    runtime->start();
+    world.engine.run_until(world.engine.now() + SimDuration::minutes(3));
+    const auto records = runtime->sink_stats(sink).records;
+    runtime->stop();
+    return records;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace sage

@@ -1,0 +1,183 @@
+// Tests for the deterministic RNG and the online-statistics toolkit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace sage {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng parent1(7);
+  Rng parent2(7);
+  Rng child1 = parent1.fork();
+  Rng child2 = parent2.fork();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+  // Child stream differs from the parent's continuation.
+  EXPECT_NE(child1.next_u64(), parent1.next_u64());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(42);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = rng.uniform(5.0, 7.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(42);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo = saw_lo || v == 3;
+    saw_hi = saw_hi || v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(42);
+  OnlineStats stats;
+  for (int i = 0; i < 50'000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(42);
+  OnlineStats stats;
+  for (int i = 0; i < 50'000; ++i) stats.add(rng.exponential(0.5));
+  EXPECT_NEAR(stats.mean(), 2.0, 0.1);
+}
+
+TEST(RngTest, ParetoRespectsScale) {
+  Rng rng(42);
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(rng.pareto(3.0, 2.0), 3.0);
+}
+
+TEST(RngTest, ChanceFrequency) {
+  Rng rng(42);
+  int hits = 0;
+  for (int i = 0; i < 100'000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 100'000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ZipfSkewsLow) {
+  Rng rng(42);
+  int low = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const auto k = rng.zipf(1000, 1.2);
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, 1000);
+    if (k < 10) ++low;
+  }
+  // With skew 1.2, the first 10 of 1000 keys should dominate.
+  EXPECT_GT(low, n / 4);
+}
+
+TEST(OnlineStatsTest, MeanVarianceMinMax) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook dataset
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStatsTest, MergeMatchesSequential) {
+  OnlineStats all;
+  OnlineStats a;
+  OnlineStats b;
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 1.5);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.count(), all.count());
+}
+
+TEST(OnlineStatsTest, EmptyIsSafe) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(EwmaTest, SeedsWithFirstAndTracks) {
+  Ewma e(0.5);
+  EXPECT_TRUE(e.empty());
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+  e.add(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+}
+
+TEST(SampleSetTest, QuantilesInterpolate) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.95), 95.05, 1e-9);
+}
+
+TEST(SampleSetTest, Ci95ShrinksWithSamples) {
+  SampleSet small;
+  SampleSet large;
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) small.add(rng.normal(0, 1));
+  for (int i = 0; i < 1000; ++i) large.add(rng.normal(0, 1));
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 9
+  h.add(-5.0);  // clamps to bin 0
+  h.add(50.0);  // clamps to bin 9
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
+}
+
+}  // namespace
+}  // namespace sage

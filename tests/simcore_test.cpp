@@ -1,0 +1,178 @@
+// Tests for the discrete-event simulation kernel.
+#include "simcore/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace sage::sim {
+namespace {
+
+TEST(SimEngineTest, FiresInTimestampOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.schedule_after(SimDuration::seconds(3), [&] { order.push_back(3); });
+  engine.schedule_after(SimDuration::seconds(1), [&] { order.push_back(1); });
+  engine.schedule_after(SimDuration::seconds(2), [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now().to_seconds(), 3.0);
+}
+
+TEST(SimEngineTest, EqualTimestampsFireFifo) {
+  SimEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_after(SimDuration::seconds(1), [&, i] { order.push_back(i); });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimEngineTest, ClockAdvancesOnlyThroughEvents) {
+  SimEngine engine;
+  EXPECT_EQ(engine.now(), SimTime::epoch());
+  SimTime seen;
+  engine.schedule_after(SimDuration::minutes(5), [&] { seen = engine.now(); });
+  engine.run();
+  EXPECT_EQ(seen, SimTime::epoch() + SimDuration::minutes(5));
+}
+
+TEST(SimEngineTest, NestedSchedulingWorks) {
+  SimEngine engine;
+  int fired = 0;
+  engine.schedule_after(SimDuration::seconds(1), [&] {
+    ++fired;
+    engine.schedule_after(SimDuration::seconds(1), [&] { ++fired; });
+  });
+  engine.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(engine.now().to_seconds(), 2.0);
+}
+
+TEST(SimEngineTest, CancelPreventsFiring) {
+  SimEngine engine;
+  bool fired = false;
+  EventHandle h = engine.schedule_after(SimDuration::seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  engine.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimEngineTest, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no crash
+}
+
+TEST(SimEngineTest, HandleNotPendingAfterFiring) {
+  SimEngine engine;
+  EventHandle h = engine.schedule_after(SimDuration::seconds(1), [] {});
+  engine.run();
+  EXPECT_FALSE(h.pending());
+}
+
+TEST(SimEngineTest, RunUntilStopsAtHorizon) {
+  SimEngine engine;
+  int fired = 0;
+  engine.schedule_after(SimDuration::seconds(1), [&] { ++fired; });
+  engine.schedule_after(SimDuration::seconds(10), [&] { ++fired; });
+  const auto n = engine.run_until(SimTime::epoch() + SimDuration::seconds(5));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  // The clock lands exactly on the horizon even with pending future work.
+  EXPECT_EQ(engine.now().to_seconds(), 5.0);
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimEngineTest, SchedulingInThePastThrows) {
+  SimEngine engine;
+  engine.schedule_after(SimDuration::seconds(5), [] {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(SimTime::epoch(), [] {}), CheckFailure);
+  EXPECT_THROW(
+      engine.schedule_after(SimDuration::zero() - SimDuration::seconds(1), [] {}),
+      CheckFailure);
+}
+
+TEST(SimEngineTest, StepFiresExactlyOne) {
+  SimEngine engine;
+  int fired = 0;
+  engine.schedule_after(SimDuration::seconds(1), [&] { ++fired; });
+  engine.schedule_after(SimDuration::seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimEngineTest, CountsFiredEvents) {
+  SimEngine engine;
+  for (int i = 0; i < 7; ++i) engine.schedule_after(SimDuration::seconds(i + 1), [] {});
+  engine.run();
+  EXPECT_EQ(engine.events_fired(), 7u);
+}
+
+TEST(PeriodicTaskTest, FiresAtInterval) {
+  SimEngine engine;
+  int fired = 0;
+  PeriodicTask task(engine, SimDuration::seconds(10), [&] { ++fired; });
+  task.start();
+  engine.run_until(SimTime::epoch() + SimDuration::seconds(35));
+  EXPECT_EQ(fired, 3);  // t = 10, 20, 30
+}
+
+TEST(PeriodicTaskTest, StopHalts) {
+  SimEngine engine;
+  int fired = 0;
+  PeriodicTask task(engine, SimDuration::seconds(10), [&] { ++fired; });
+  task.start();
+  engine.run_until(SimTime::epoch() + SimDuration::seconds(25));
+  task.stop();
+  engine.run_until(SimTime::epoch() + SimDuration::minutes(10));
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTaskTest, CallbackMayStopItself) {
+  SimEngine engine;
+  int fired = 0;
+  PeriodicTask task(engine, SimDuration::seconds(1), [&] {
+    if (++fired == 3) task.stop();
+  });
+  task.start();
+  engine.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTaskTest, DestructorCancels) {
+  SimEngine engine;
+  int fired = 0;
+  {
+    PeriodicTask task(engine, SimDuration::seconds(1), [&] { ++fired; });
+    task.start();
+  }
+  engine.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(PeriodicTaskTest, RestartAfterStop) {
+  SimEngine engine;
+  int fired = 0;
+  PeriodicTask task(engine, SimDuration::seconds(1), [&] { ++fired; });
+  task.start();
+  engine.run_until(SimTime::epoch() + SimDuration::seconds(2));
+  task.stop();
+  task.start();
+  engine.run_until(SimTime::epoch() + SimDuration::seconds(4));
+  EXPECT_EQ(fired, 4);
+}
+
+}  // namespace
+}  // namespace sage::sim

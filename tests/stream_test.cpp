@@ -1,0 +1,336 @@
+// Tests for the streaming layer: operators, job graphs, and the single-site
+// runtime behaviour (queueing, windows, latency accounting).
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "stream/graph.hpp"
+#include "stream/operator.hpp"
+#include "stream/runtime.hpp"
+#include "test_util.hpp"
+
+namespace sage::stream {
+namespace {
+
+using cloud::Region;
+using sage::testing::StableWorld;
+
+constexpr Region kNEU = Region::kNorthEU;
+constexpr Region kNUS = Region::kNorthUS;
+
+Record make_record(double value, std::uint64_t key = 0,
+                   SimTime t = SimTime::epoch()) {
+  Record r;
+  r.event_time = t;
+  r.key = key;
+  r.value = value;
+  r.wire_size = Bytes::of(100);
+  return r;
+}
+
+TEST(RecordBatchTest, TracksSizeAndBytes) {
+  RecordBatch b;
+  EXPECT_TRUE(b.empty());
+  b.add(make_record(1.0));
+  b.add(make_record(2.0));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.wire_size(), Bytes::of(200));
+  RecordBatch c;
+  c.add(make_record(3.0));
+  b.append(c);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.wire_size(), Bytes::of(300));
+  b.clear();
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(b.wire_size().is_zero());
+}
+
+TEST(MapOperatorTest, TransformsEveryRecord) {
+  auto op = make_map("double", [](const Record& r) {
+    Record out = r;
+    out.value = r.value * 2.0;
+    return out;
+  });
+  RecordBatch in;
+  in.add(make_record(1.0));
+  in.add(make_record(2.5));
+  RecordBatch out;
+  op->process(0, in, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.records()[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(out.records()[1].value, 5.0);
+}
+
+TEST(FilterOperatorTest, DropsNonMatching) {
+  auto op = make_filter("pos", [](const Record& r) { return r.value > 0.0; });
+  RecordBatch in;
+  in.add(make_record(1.0));
+  in.add(make_record(-1.0));
+  in.add(make_record(2.0));
+  RecordBatch out;
+  op->process(0, in, out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(WindowAggregateTest, EmitsPerKeyAggregatesOnTimer) {
+  WindowAggregateOperator op("sum", SimDuration::seconds(10), AggregateFn::kSum);
+  RecordBatch in;
+  in.add(make_record(1.0, /*key=*/1));
+  in.add(make_record(2.0, /*key=*/1));
+  in.add(make_record(5.0, /*key=*/2));
+  RecordBatch none;
+  op.process(0, in, none);
+  EXPECT_TRUE(none.empty());  // nothing emitted before the window closes
+  EXPECT_EQ(op.active_keys(), 2u);
+
+  RecordBatch out;
+  op.on_timer(SimTime::epoch() + SimDuration::seconds(10), out);
+  ASSERT_EQ(out.size(), 2u);
+  double sum1 = 0.0;
+  double sum2 = 0.0;
+  for (const Record& r : out.records()) {
+    if (r.key == 1) sum1 = r.value;
+    if (r.key == 2) sum2 = r.value;
+  }
+  EXPECT_DOUBLE_EQ(sum1, 3.0);
+  EXPECT_DOUBLE_EQ(sum2, 5.0);
+  EXPECT_EQ(op.active_keys(), 0u);  // window state flushed
+}
+
+TEST(WindowAggregateTest, AllAggregateFunctions) {
+  const std::vector<double> values = {2.0, 8.0, 4.0};
+  auto run = [&](AggregateFn fn) {
+    WindowAggregateOperator op("agg", SimDuration::seconds(1), fn);
+    RecordBatch in;
+    for (double v : values) in.add(make_record(v, 7));
+    RecordBatch none;
+    op.process(0, in, none);
+    RecordBatch out;
+    op.on_timer(SimTime::epoch() + SimDuration::seconds(1), out);
+    EXPECT_EQ(out.size(), 1u);
+    return out.records()[0].value;
+  };
+  EXPECT_DOUBLE_EQ(run(AggregateFn::kSum), 14.0);
+  EXPECT_DOUBLE_EQ(run(AggregateFn::kCount), 3.0);
+  EXPECT_DOUBLE_EQ(run(AggregateFn::kMean), 14.0 / 3.0);
+  EXPECT_DOUBLE_EQ(run(AggregateFn::kMin), 2.0);
+  EXPECT_DOUBLE_EQ(run(AggregateFn::kMax), 8.0);
+}
+
+TEST(WindowAggregateTest, OutputCarriesOldestEventTime) {
+  WindowAggregateOperator op("sum", SimDuration::seconds(10), AggregateFn::kSum);
+  RecordBatch in;
+  in.add(make_record(1.0, 1, SimTime::epoch() + SimDuration::seconds(5)));
+  in.add(make_record(1.0, 1, SimTime::epoch() + SimDuration::seconds(2)));
+  RecordBatch none;
+  op.process(0, in, none);
+  RecordBatch out;
+  op.on_timer(SimTime::epoch() + SimDuration::seconds(10), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.records()[0].event_time, SimTime::epoch() + SimDuration::seconds(2));
+}
+
+TEST(WindowJoinTest, MatchesAcrossPorts) {
+  WindowJoinOperator op("join", SimDuration::seconds(30),
+                        [](double l, double r) { return l + r; });
+  RecordBatch left;
+  left.add(make_record(1.0, 42));
+  RecordBatch out;
+  op.process(0, left, out);
+  EXPECT_TRUE(out.empty());  // no right side yet
+  RecordBatch right;
+  right.add(make_record(10.0, 42));
+  right.add(make_record(10.0, 99));  // unmatched key
+  op.process(1, right, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out.records()[0].value, 11.0);
+  EXPECT_EQ(out.records()[0].key, 42u);
+}
+
+TEST(WindowJoinTest, TimerExpiresOldState) {
+  WindowJoinOperator op("join", SimDuration::seconds(10),
+                        [](double l, double r) { return l + r; });
+  RecordBatch left;
+  left.add(make_record(1.0, 1, SimTime::epoch()));
+  RecordBatch out;
+  op.process(0, left, out);
+  EXPECT_EQ(op.buffered(), 1u);
+  op.on_timer(SimTime::epoch() + SimDuration::seconds(60), out);
+  EXPECT_EQ(op.buffered(), 0u);
+  // A late right-side record no longer matches.
+  RecordBatch right;
+  right.add(make_record(2.0, 1, SimTime::epoch() + SimDuration::seconds(60)));
+  op.process(1, right, out);
+  EXPECT_TRUE(out.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Graph construction and validation.
+// ---------------------------------------------------------------------------
+
+TEST(JobGraphTest, BuildAndInspect) {
+  JobGraph g;
+  const auto src = g.add_source("s", kNEU, SourceSpec{});
+  const auto op = g.add_operator("f", kNEU, make_filter("f", [](const Record&) {
+    return true;
+  }));
+  const auto sink = g.add_sink("k", kNUS);
+  g.connect(src, op);
+  g.connect(op, sink);
+  g.validate();
+  EXPECT_EQ(g.vertices().size(), 3u);
+  EXPECT_EQ(g.out_edges(src).size(), 1u);
+  EXPECT_EQ(g.wan_edges().size(), 1u);  // op(NEU) -> sink(NUS)
+  const auto sites = g.sites_used();
+  EXPECT_EQ(sites.size(), 2u);
+}
+
+TEST(JobGraphTest, ValidateRejectsCycles) {
+  JobGraph g;
+  const auto a = g.add_operator("a", kNEU, make_filter("a", [](const Record&) {
+    return true;
+  }));
+  const auto b = g.add_operator("b", kNEU, make_filter("b", [](const Record&) {
+    return true;
+  }));
+  g.connect(a, b);
+  g.connect(b, a);
+  EXPECT_THROW(g.validate(), CheckFailure);
+}
+
+TEST(JobGraphTest, ValidateRejectsEdgesIntoSources) {
+  JobGraph g;
+  const auto s = g.add_source("s", kNEU, SourceSpec{});
+  const auto op = g.add_operator("o", kNEU, make_filter("o", [](const Record&) {
+    return true;
+  }));
+  g.connect(op, s);
+  EXPECT_THROW(g.validate(), CheckFailure);
+}
+
+TEST(JobGraphTest, ValidateRejectsPortOneOnNonJoin) {
+  JobGraph g;
+  const auto s = g.add_source("s", kNEU, SourceSpec{});
+  const auto op = g.add_operator("o", kNEU, make_filter("o", [](const Record&) {
+    return true;
+  }));
+  g.connect(s, op, /*port=*/1);
+  EXPECT_THROW(g.validate(), CheckFailure);
+}
+
+TEST(JobGraphTest, PortOneValidOnJoin) {
+  JobGraph g;
+  const auto s1 = g.add_source("s1", kNEU, SourceSpec{});
+  const auto s2 = g.add_source("s2", kNEU, SourceSpec{});
+  const auto j = g.add_operator(
+      "j", kNEU, make_window_join("j", SimDuration::seconds(10),
+                                  [](double l, double r) { return l * r; }));
+  const auto sink = g.add_sink("k", kNEU);
+  g.connect(s1, j, 0);
+  g.connect(s2, j, 1);
+  g.connect(j, sink);
+  EXPECT_NO_THROW(g.validate());
+}
+
+// ---------------------------------------------------------------------------
+// Single-site runtime end-to-end.
+// ---------------------------------------------------------------------------
+
+/// Backend that must never be called for a single-site job.
+struct NeverBackend final : TransferBackend {
+  void send(Region, Region, Bytes, DoneFn) override {
+    FAIL() << "single-site job must not touch the WAN";
+  }
+  [[nodiscard]] std::string_view name() const override { return "never"; }
+};
+
+TEST(StreamRuntimeTest, LocalPipelineDeliversRecords) {
+  StableWorld world;
+  JobGraph g;
+  SourceSpec spec;
+  spec.records_per_sec = 1000.0;
+  spec.emit_interval = SimDuration::millis(100);
+  const auto src = g.add_source("s", kNEU, spec);
+  const auto filter = g.add_operator(
+      "f", kNEU, make_filter("f", [](const Record& r) { return r.key % 2 == 0; }));
+  const auto sink = g.add_sink("k", kNEU);
+  g.connect(src, filter);
+  g.connect(filter, sink);
+
+  NeverBackend backend;
+  StreamRuntime runtime(*world.provider, g, backend, RuntimeConfig{});
+  runtime.start();
+  world.engine.run_until(world.engine.now() + SimDuration::seconds(10));
+  const SinkStats& stats = runtime.sink_stats(sink);
+  // ~10k records emitted, about half pass the filter.
+  EXPECT_GT(stats.records, 3000u);
+  EXPECT_LT(stats.records, 7000u);
+  EXPECT_GT(stats.latency_ms.count(), 0u);
+  // Local pipeline latency is milliseconds, not seconds.
+  EXPECT_LT(stats.latency_ms.quantile(0.5), 1000.0);
+  runtime.stop();
+}
+
+TEST(StreamRuntimeTest, WindowedAggregationReducesVolume) {
+  StableWorld world;
+  JobGraph g;
+  SourceSpec spec;
+  spec.records_per_sec = 2000.0;
+  spec.key_count = 10;
+  const auto src = g.add_source("s", kNEU, spec);
+  const auto agg = g.add_operator(
+      "w", kNEU,
+      make_window_aggregate("w", SimDuration::seconds(5), AggregateFn::kMean));
+  const auto sink = g.add_sink("k", kNEU);
+  g.connect(src, agg);
+  g.connect(agg, sink);
+
+  NeverBackend backend;
+  StreamRuntime runtime(*world.provider, g, backend, RuntimeConfig{});
+  runtime.start();
+  world.engine.run_until(world.engine.now() + SimDuration::seconds(30));
+  const SinkStats& stats = runtime.sink_stats(sink);
+  // 6 windows x <=10 keys: drastic reduction from ~60k source records.
+  EXPECT_GT(stats.records, 20u);
+  EXPECT_LE(stats.records, 80u);
+  runtime.stop();
+}
+
+TEST(StreamRuntimeTest, StopReleasesVms) {
+  StableWorld world;
+  JobGraph g;
+  const auto src = g.add_source("s", kNEU, SourceSpec{});
+  const auto sink = g.add_sink("k", kNEU);
+  g.connect(src, sink);
+  NeverBackend backend;
+  StreamRuntime runtime(*world.provider, g, backend, RuntimeConfig{});
+  runtime.start();
+  EXPECT_EQ(world.provider->active_vm_count(), 1u);
+  world.engine.run_until(world.engine.now() + SimDuration::seconds(5));
+  runtime.stop();
+  EXPECT_EQ(world.provider->active_vm_count(), 0u);
+}
+
+TEST(StreamRuntimeTest, QueueDepthVisibleUnderOverload) {
+  StableWorld world;
+  JobGraph g;
+  SourceSpec spec;
+  spec.records_per_sec = 50000.0;
+  const auto src = g.add_source("s", kNEU, spec);
+  // An absurdly expensive operator to force backpressure.
+  const auto heavy = g.add_operator(
+      "heavy", kNEU,
+      make_map("heavy", [](const Record& r) { return r; }, /*cost=*/500.0));
+  const auto sink = g.add_sink("k", kNEU);
+  g.connect(src, heavy);
+  g.connect(heavy, sink);
+
+  NeverBackend backend;
+  StreamRuntime runtime(*world.provider, g, backend, RuntimeConfig{});
+  runtime.start();
+  world.engine.run_until(world.engine.now() + SimDuration::seconds(20));
+  EXPECT_GT(runtime.queue_depth(heavy), 0u);
+  runtime.stop();
+}
+
+}  // namespace
+}  // namespace sage::stream

@@ -1,0 +1,46 @@
+// Shared helpers for the SAGE test suite.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "cloud/provider.hpp"
+#include "cloud/topology.hpp"
+#include "simcore/engine.hpp"
+
+namespace sage::testing {
+
+/// A simulation world with a provider on a *stable* topology (no noise,
+/// no incidents) so tests can assert analytic expectations.
+struct StableWorld {
+  sim::SimEngine engine;
+  std::unique_ptr<cloud::CloudProvider> provider;
+
+  explicit StableWorld(std::uint64_t seed = 1) {
+    provider = std::make_unique<cloud::CloudProvider>(engine, cloud::stable_topology(), seed);
+  }
+};
+
+/// Same but with the default (variable) topology.
+struct NoisyWorld {
+  sim::SimEngine engine;
+  std::unique_ptr<cloud::CloudProvider> provider;
+
+  explicit NoisyWorld(std::uint64_t seed = 1) {
+    provider = std::make_unique<cloud::CloudProvider>(engine, cloud::default_topology(), seed);
+  }
+};
+
+/// Run the engine until `pred` holds or `budget` simulated time elapses.
+/// Returns true when the predicate held.
+inline bool run_until(sim::SimEngine& engine, std::function<bool()> pred,
+                      SimDuration budget = SimDuration::hours(2)) {
+  const SimTime deadline = engine.now() + budget;
+  while (!pred()) {
+    if (engine.now() >= deadline) return false;
+    if (!engine.step()) return false;
+  }
+  return true;
+}
+
+}  // namespace sage::testing

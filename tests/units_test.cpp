@@ -1,0 +1,114 @@
+// Unit tests for the typed units layer (common/units.hpp).
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sage {
+namespace {
+
+TEST(SimDurationTest, ConstructorsAgree) {
+  EXPECT_EQ(SimDuration::seconds(1.0).count_micros(), 1'000'000);
+  EXPECT_EQ(SimDuration::millis(5).count_micros(), 5'000);
+  EXPECT_EQ(SimDuration::minutes(2).count_micros(), 120'000'000);
+  EXPECT_EQ(SimDuration::hours(1).count_micros(), 3'600'000'000LL);
+  EXPECT_EQ(SimDuration::days(1), SimDuration::hours(24));
+}
+
+TEST(SimDurationTest, Arithmetic) {
+  const auto a = SimDuration::seconds(10);
+  const auto b = SimDuration::seconds(4);
+  EXPECT_EQ((a + b).to_seconds(), 14.0);
+  EXPECT_EQ((a - b).to_seconds(), 6.0);
+  EXPECT_DOUBLE_EQ((a * 2.5).to_seconds(), 25.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).to_seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+}
+
+TEST(SimDurationTest, ComparisonAndFlags) {
+  EXPECT_LT(SimDuration::seconds(1), SimDuration::seconds(2));
+  EXPECT_TRUE(SimDuration::zero().is_zero());
+  EXPECT_TRUE((SimDuration::zero() - SimDuration::seconds(1)).is_negative());
+  EXPECT_FALSE(SimDuration::seconds(1).is_negative());
+}
+
+TEST(SimTimeTest, TimePointArithmetic) {
+  const SimTime t0 = SimTime::epoch();
+  const SimTime t1 = t0 + SimDuration::seconds(30);
+  EXPECT_EQ((t1 - t0).to_seconds(), 30.0);
+  EXPECT_EQ(t1 - SimDuration::seconds(30), t0);
+  EXPECT_GT(t1, t0);
+  EXPECT_DOUBLE_EQ((t0 + SimDuration::hours(2)).to_hours(), 2.0);
+}
+
+TEST(BytesTest, UnitsAreDecimal) {
+  EXPECT_EQ(Bytes::kb(1).count(), 1000);
+  EXPECT_EQ(Bytes::mb(1).count(), 1'000'000);
+  EXPECT_EQ(Bytes::gb(1).count(), 1'000'000'000);
+  EXPECT_EQ(Bytes::kib(1).count(), 1024);
+  EXPECT_EQ(Bytes::mib(1).count(), 1024 * 1024);
+}
+
+TEST(BytesTest, Arithmetic) {
+  const auto a = Bytes::mb(10);
+  const auto b = Bytes::mb(4);
+  EXPECT_EQ((a + b).to_mb(), 14.0);
+  EXPECT_EQ((a - b).to_mb(), 6.0);
+  EXPECT_DOUBLE_EQ((a * 0.5).to_mb(), 5.0);
+  EXPECT_EQ((a / 2).to_mb(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  Bytes c = a;
+  c += b;
+  c -= Bytes::mb(1);
+  EXPECT_EQ(c, Bytes::mb(13));
+}
+
+TEST(ByteRateTest, MegabitConversion) {
+  // A 100 Mbps NIC moves 12.5 MB/s.
+  EXPECT_DOUBLE_EQ(ByteRate::megabits_per_sec(100).to_mb_per_sec(), 12.5);
+}
+
+TEST(ByteRateTest, TimeForSize) {
+  const auto r = ByteRate::mb_per_sec(10);
+  EXPECT_DOUBLE_EQ(r.time_for(Bytes::mb(100)).to_seconds(), 10.0);
+  EXPECT_EQ(ByteRate::zero().time_for(Bytes::mb(1)), SimDuration::max());
+}
+
+TEST(ByteRateTest, RateFromBytesOverDuration) {
+  const ByteRate r = Bytes::mb(50) / SimDuration::seconds(5);
+  EXPECT_DOUBLE_EQ(r.to_mb_per_sec(), 10.0);
+  // Degenerate interval yields zero, not a division crash.
+  EXPECT_TRUE((Bytes::mb(1) / SimDuration::zero()).is_zero());
+}
+
+TEST(ByteRateTest, BytesFromRateOverDuration) {
+  EXPECT_EQ((ByteRate::mb_per_sec(4) * SimDuration::seconds(3)).to_mb(), 12.0);
+}
+
+TEST(MoneyTest, ExactMicroUsdAccumulation) {
+  Money total = Money::zero();
+  for (int i = 0; i < 1'000'000; ++i) total += Money::micro_usd(1);
+  EXPECT_DOUBLE_EQ(total.to_usd(), 1.0);
+}
+
+TEST(MoneyTest, Arithmetic) {
+  const auto a = Money::usd(0.12);
+  EXPECT_EQ(a.count_micro_usd(), 120'000);
+  EXPECT_DOUBLE_EQ((a * 2.0).to_usd(), 0.24);
+  EXPECT_DOUBLE_EQ((a + Money::cents(3)).to_usd(), 0.15);
+  EXPECT_DOUBLE_EQ(a / Money::usd(0.06), 2.0);
+  EXPECT_LT(Money::usd(0.05), a);
+}
+
+TEST(FormattingTest, HumanReadable) {
+  EXPECT_EQ(to_string(Bytes::of(512)), "512 B");
+  EXPECT_EQ(to_string(Bytes::mb(100)), "100.0 MB");
+  EXPECT_EQ(to_string(Bytes::gb(2)), "2.00 GB");
+  EXPECT_EQ(to_string(ByteRate::mb_per_sec(5.25)), "5.25 MB/s");
+  EXPECT_EQ(to_string(SimDuration::seconds(90)), "90.00 s");
+  EXPECT_EQ(to_string(SimDuration::hours(3)), "3.00 h");
+  EXPECT_EQ(to_string(SimDuration::max()), "inf");
+  EXPECT_EQ(to_string(Money::usd(1.5)), "$1.5000");
+}
+
+}  // namespace
+}  // namespace sage
