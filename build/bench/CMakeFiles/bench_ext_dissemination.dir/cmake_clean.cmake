@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dissemination.dir/bench_ext_dissemination.cpp.o"
+  "CMakeFiles/bench_ext_dissemination.dir/bench_ext_dissemination.cpp.o.d"
+  "bench_ext_dissemination"
+  "bench_ext_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

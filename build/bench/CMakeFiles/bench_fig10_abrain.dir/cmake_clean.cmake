@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_abrain.dir/bench_fig10_abrain.cpp.o"
+  "CMakeFiles/bench_fig10_abrain.dir/bench_fig10_abrain.cpp.o.d"
+  "bench_fig10_abrain"
+  "bench_fig10_abrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_abrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

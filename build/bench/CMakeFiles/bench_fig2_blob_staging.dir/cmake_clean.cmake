@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_blob_staging.dir/bench_fig2_blob_staging.cpp.o"
+  "CMakeFiles/bench_fig2_blob_staging.dir/bench_fig2_blob_staging.cpp.o.d"
+  "bench_fig2_blob_staging"
+  "bench_fig2_blob_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_blob_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_intrusiveness.dir/bench_fig5_intrusiveness.cpp.o"
+  "CMakeFiles/bench_fig5_intrusiveness.dir/bench_fig5_intrusiveness.cpp.o.d"
+  "bench_fig5_intrusiveness"
+  "bench_fig5_intrusiveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_intrusiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

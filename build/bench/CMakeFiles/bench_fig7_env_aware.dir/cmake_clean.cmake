@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_env_aware.dir/bench_fig7_env_aware.cpp.o"
+  "CMakeFiles/bench_fig7_env_aware.dir/bench_fig7_env_aware.cpp.o.d"
+  "bench_fig7_env_aware"
+  "bench_fig7_env_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_env_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

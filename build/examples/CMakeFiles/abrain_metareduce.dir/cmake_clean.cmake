@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abrain_metareduce.dir/abrain_metareduce.cpp.o"
+  "CMakeFiles/abrain_metareduce.dir/abrain_metareduce.cpp.o.d"
+  "abrain_metareduce"
+  "abrain_metareduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abrain_metareduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abrain_metareduce.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clickstream_budget.dir/clickstream_budget.cpp.o"
+  "CMakeFiles/clickstream_budget.dir/clickstream_budget.cpp.o.d"
+  "clickstream_budget"
+  "clickstream_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clickstream_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

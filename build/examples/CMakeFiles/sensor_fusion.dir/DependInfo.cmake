@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sensor_fusion.cpp" "examples/CMakeFiles/sensor_fusion.dir/sensor_fusion.cpp.o" "gcc" "examples/CMakeFiles/sensor_fusion.dir/sensor_fusion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sage_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sage_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sage_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sage_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sage_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/sage_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sage_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/sage_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/sage_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/sage_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sage_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_baselines.dir/backends.cpp.o"
+  "CMakeFiles/sage_baselines.dir/backends.cpp.o.d"
+  "CMakeFiles/sage_baselines.dir/gateway.cpp.o"
+  "CMakeFiles/sage_baselines.dir/gateway.cpp.o.d"
+  "libsage_baselines.a"
+  "libsage_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/blob.cpp" "src/cloud/CMakeFiles/sage_cloud.dir/blob.cpp.o" "gcc" "src/cloud/CMakeFiles/sage_cloud.dir/blob.cpp.o.d"
+  "/root/repo/src/cloud/fabric.cpp" "src/cloud/CMakeFiles/sage_cloud.dir/fabric.cpp.o" "gcc" "src/cloud/CMakeFiles/sage_cloud.dir/fabric.cpp.o.d"
+  "/root/repo/src/cloud/link_model.cpp" "src/cloud/CMakeFiles/sage_cloud.dir/link_model.cpp.o" "gcc" "src/cloud/CMakeFiles/sage_cloud.dir/link_model.cpp.o.d"
+  "/root/repo/src/cloud/provider.cpp" "src/cloud/CMakeFiles/sage_cloud.dir/provider.cpp.o" "gcc" "src/cloud/CMakeFiles/sage_cloud.dir/provider.cpp.o.d"
+  "/root/repo/src/cloud/topology.cpp" "src/cloud/CMakeFiles/sage_cloud.dir/topology.cpp.o" "gcc" "src/cloud/CMakeFiles/sage_cloud.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sage_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/sage_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_cloud.dir/blob.cpp.o"
+  "CMakeFiles/sage_cloud.dir/blob.cpp.o.d"
+  "CMakeFiles/sage_cloud.dir/fabric.cpp.o"
+  "CMakeFiles/sage_cloud.dir/fabric.cpp.o.d"
+  "CMakeFiles/sage_cloud.dir/link_model.cpp.o"
+  "CMakeFiles/sage_cloud.dir/link_model.cpp.o.d"
+  "CMakeFiles/sage_cloud.dir/provider.cpp.o"
+  "CMakeFiles/sage_cloud.dir/provider.cpp.o.d"
+  "CMakeFiles/sage_cloud.dir/topology.cpp.o"
+  "CMakeFiles/sage_cloud.dir/topology.cpp.o.d"
+  "libsage_cloud.a"
+  "libsage_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_common.dir/log.cpp.o"
+  "CMakeFiles/sage_common.dir/log.cpp.o.d"
+  "CMakeFiles/sage_common.dir/rng.cpp.o"
+  "CMakeFiles/sage_common.dir/rng.cpp.o.d"
+  "CMakeFiles/sage_common.dir/stats.cpp.o"
+  "CMakeFiles/sage_common.dir/stats.cpp.o.d"
+  "CMakeFiles/sage_common.dir/table.cpp.o"
+  "CMakeFiles/sage_common.dir/table.cpp.o.d"
+  "CMakeFiles/sage_common.dir/units.cpp.o"
+  "CMakeFiles/sage_common.dir/units.cpp.o.d"
+  "libsage_common.a"
+  "libsage_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

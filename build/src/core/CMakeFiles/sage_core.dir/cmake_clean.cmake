@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_core.dir/introspection.cpp.o"
+  "CMakeFiles/sage_core.dir/introspection.cpp.o.d"
+  "CMakeFiles/sage_core.dir/placement.cpp.o"
+  "CMakeFiles/sage_core.dir/placement.cpp.o.d"
+  "CMakeFiles/sage_core.dir/sage.cpp.o"
+  "CMakeFiles/sage_core.dir/sage.cpp.o.d"
+  "libsage_core.a"
+  "libsage_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/cost_model.cpp" "src/model/CMakeFiles/sage_model.dir/cost_model.cpp.o" "gcc" "src/model/CMakeFiles/sage_model.dir/cost_model.cpp.o.d"
+  "/root/repo/src/model/tradeoff.cpp" "src/model/CMakeFiles/sage_model.dir/tradeoff.cpp.o" "gcc" "src/model/CMakeFiles/sage_model.dir/tradeoff.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/sage_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/sage_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/sage_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sage_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_model.dir/cost_model.cpp.o"
+  "CMakeFiles/sage_model.dir/cost_model.cpp.o.d"
+  "CMakeFiles/sage_model.dir/tradeoff.cpp.o"
+  "CMakeFiles/sage_model.dir/tradeoff.cpp.o.d"
+  "libsage_model.a"
+  "libsage_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_monitor.dir/estimator.cpp.o"
+  "CMakeFiles/sage_monitor.dir/estimator.cpp.o.d"
+  "CMakeFiles/sage_monitor.dir/monitoring.cpp.o"
+  "CMakeFiles/sage_monitor.dir/monitoring.cpp.o.d"
+  "libsage_monitor.a"
+  "libsage_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_net.dir/transfer.cpp.o"
+  "CMakeFiles/sage_net.dir/transfer.cpp.o.d"
+  "CMakeFiles/sage_net.dir/tree_transfer.cpp.o"
+  "CMakeFiles/sage_net.dir/tree_transfer.cpp.o.d"
+  "libsage_net.a"
+  "libsage_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

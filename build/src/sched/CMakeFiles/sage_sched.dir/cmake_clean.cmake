@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_sched.dir/broadcast.cpp.o"
+  "CMakeFiles/sage_sched.dir/broadcast.cpp.o.d"
+  "CMakeFiles/sage_sched.dir/multipath.cpp.o"
+  "CMakeFiles/sage_sched.dir/multipath.cpp.o.d"
+  "CMakeFiles/sage_sched.dir/paths.cpp.o"
+  "CMakeFiles/sage_sched.dir/paths.cpp.o.d"
+  "libsage_sched.a"
+  "libsage_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

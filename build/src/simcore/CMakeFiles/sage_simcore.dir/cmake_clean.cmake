@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_simcore.dir/engine.cpp.o"
+  "CMakeFiles/sage_simcore.dir/engine.cpp.o.d"
+  "libsage_simcore.a"
+  "libsage_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

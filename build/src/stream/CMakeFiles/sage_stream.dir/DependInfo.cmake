@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/graph.cpp" "src/stream/CMakeFiles/sage_stream.dir/graph.cpp.o" "gcc" "src/stream/CMakeFiles/sage_stream.dir/graph.cpp.o.d"
+  "/root/repo/src/stream/operator.cpp" "src/stream/CMakeFiles/sage_stream.dir/operator.cpp.o" "gcc" "src/stream/CMakeFiles/sage_stream.dir/operator.cpp.o.d"
+  "/root/repo/src/stream/runtime.cpp" "src/stream/CMakeFiles/sage_stream.dir/runtime.cpp.o" "gcc" "src/stream/CMakeFiles/sage_stream.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/sage_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/sage_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sage_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

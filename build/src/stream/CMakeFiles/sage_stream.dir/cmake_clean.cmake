@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_stream.dir/graph.cpp.o"
+  "CMakeFiles/sage_stream.dir/graph.cpp.o.d"
+  "CMakeFiles/sage_stream.dir/operator.cpp.o"
+  "CMakeFiles/sage_stream.dir/operator.cpp.o.d"
+  "CMakeFiles/sage_stream.dir/runtime.cpp.o"
+  "CMakeFiles/sage_stream.dir/runtime.cpp.o.d"
+  "libsage_stream.a"
+  "libsage_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

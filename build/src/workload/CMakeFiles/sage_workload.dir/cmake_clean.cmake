@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_workload.dir/workloads.cpp.o"
+  "CMakeFiles/sage_workload.dir/workloads.cpp.o.d"
+  "libsage_workload.a"
+  "libsage_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

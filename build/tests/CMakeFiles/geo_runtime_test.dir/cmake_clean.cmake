@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_runtime_test.dir/geo_runtime_test.cpp.o"
+  "CMakeFiles/geo_runtime_test.dir/geo_runtime_test.cpp.o.d"
+  "geo_runtime_test"
+  "geo_runtime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

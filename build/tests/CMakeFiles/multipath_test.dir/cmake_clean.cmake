@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipath_test.dir/multipath_test.cpp.o"
+  "CMakeFiles/multipath_test.dir/multipath_test.cpp.o.d"
+  "multipath_test"
+  "multipath_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_workload_test.dir/placement_workload_test.cpp.o"
+  "CMakeFiles/placement_workload_test.dir/placement_workload_test.cpp.o.d"
+  "placement_workload_test"
+  "placement_workload_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

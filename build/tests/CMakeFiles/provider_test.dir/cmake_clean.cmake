@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provider_test.dir/provider_test.cpp.o"
+  "CMakeFiles/provider_test.dir/provider_test.cpp.o.d"
+  "provider_test"
+  "provider_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_engine_test.dir/sage_engine_test.cpp.o"
+  "CMakeFiles/sage_engine_test.dir/sage_engine_test.cpp.o.d"
+  "sage_engine_test"
+  "sage_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

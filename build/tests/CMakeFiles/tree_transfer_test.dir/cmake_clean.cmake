@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_transfer_test.dir/tree_transfer_test.cpp.o"
+  "CMakeFiles/tree_transfer_test.dir/tree_transfer_test.cpp.o.d"
+  "tree_transfer_test"
+  "tree_transfer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
