@@ -51,7 +51,29 @@ void BM_EventQueue(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueue);
 
-void BM_FabricSettle(benchmark::State& state) {
+void BM_EventQueue_CancelHeavy(benchmark::State& state) {
+  // The fabric's settlement loop historically cancelled and re-pushed every
+  // active flow's completion event on each refresh tick; this isolates the
+  // schedule/cancel cost that pattern stresses (half the events cancelled,
+  // dropped lazily from the heap).
+  std::vector<sim::EventHandle> handles;
+  handles.reserve(1000);
+  for (auto _ : state) {
+    sim::SimEngine engine;
+    handles.clear();
+    for (int i = 0; i < 1000; ++i) {
+      handles.push_back(engine.schedule_after(SimDuration::micros(i), [] {}));
+    }
+    for (int i = 0; i < 1000; i += 2) handles[static_cast<std::size_t>(i)].cancel();
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueue_CancelHeavy);
+
+void BM_Settle(benchmark::State& state) {
+  // All flows contend on one region-pair link: every refresh tick re-runs
+  // max-min water-filling across the whole (single-component) flow set.
   const auto flows = static_cast<int>(state.range(0));
   sim::SimEngine engine;
   cloud::Fabric fabric(engine, cloud::stable_topology(), 1);
@@ -65,10 +87,12 @@ void BM_FabricSettle(benchmark::State& state) {
                                    ByteRate::megabits_per_sec(100),
                                    ByteRate::megabits_per_sec(100)));
   }
+  // Payload far beyond the measured horizon so no flow completes mid-run
+  // (a drained fabric would go dormant and fake an ultra-cheap tick).
   int live = 0;
   for (int i = 0; i < flows; ++i) {
     fabric.start_flow(srcs[static_cast<std::size_t>(i)], dsts[static_cast<std::size_t>(i)],
-                      Bytes::gb(100), {}, [&](const cloud::FlowResult&) { --live; });
+                      Bytes::gb(100'000), {}, [&](const cloud::FlowResult&) { --live; });
     ++live;
   }
   engine.run_until(engine.now() + SimDuration::seconds(1));  // activate flows
@@ -78,7 +102,50 @@ void BM_FabricSettle(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * flows);
 }
-BENCHMARK(BM_FabricSettle)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_Settle)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SettleDisjoint(benchmark::State& state) {
+  // N background flows parked on other region pairs (disjoint link sets);
+  // the measured event stream starts/cancels flows on one pair. With
+  // incremental settlement the per-event cost must be flat in N — only the
+  // touched component is re-settled.
+  const auto background = static_cast<int>(state.range(0));
+  sim::SimEngine engine;
+  cloud::Fabric fabric(engine, cloud::stable_topology(), 1);
+  fabric.set_refresh_period(SimDuration::hours(24));  // keep refresh out of the loop
+
+  const auto node = [&](cloud::Region r) {
+    return fabric.add_node(r, ByteRate::megabits_per_sec(100),
+                           ByteRate::megabits_per_sec(100));
+  };
+  // Spread background flows over every directed region pair except the
+  // foreground pair; each flow gets private endpoints so the only shared
+  // links inside a bucket are that bucket's pair link.
+  std::vector<std::pair<cloud::Region, cloud::Region>> pairs;
+  for (cloud::Region a : cloud::kAllRegions) {
+    for (cloud::Region b : cloud::kAllRegions) {
+      if (a == b) continue;
+      if (a == cloud::Region::kNorthEU && b == cloud::Region::kNorthUS) continue;
+      pairs.emplace_back(a, b);
+    }
+  }
+  for (int i = 0; i < background; ++i) {
+    const auto& [a, b] = pairs[static_cast<std::size_t>(i) % pairs.size()];
+    fabric.start_flow(node(a), node(b), Bytes::gb(1000), {},
+                      [](const cloud::FlowResult&) {});
+  }
+  const cloud::NodeId fg_src = node(cloud::Region::kNorthEU);
+  const cloud::NodeId fg_dst = node(cloud::Region::kNorthUS);
+  engine.run_until(engine.now() + SimDuration::seconds(2));  // activate background
+  for (auto _ : state) {
+    const cloud::FlowId id = fabric.start_flow(fg_src, fg_dst, Bytes::gb(100), {},
+                                               [](const cloud::FlowResult&) {});
+    engine.run_until(engine.now() + SimDuration::seconds(1));  // setup + settle
+    fabric.cancel_flow(id);                                    // settle again
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SettleDisjoint)->Arg(16)->Arg(64)->Arg(256);
 
 monitor::ThroughputMatrix bench_matrix() {
   monitor::ThroughputMatrix m;

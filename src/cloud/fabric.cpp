@@ -1,6 +1,7 @@
 #include "cloud/fabric.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/check.hpp"
@@ -8,7 +9,13 @@
 namespace sage::cloud {
 
 Fabric::Fabric(sim::SimEngine& engine, Topology topology, std::uint64_t seed)
-    : engine_(engine), topology_(topology), rng_(seed) {}
+    : engine_(engine), topology_(topology), rng_(seed) {
+  link_flows_.resize(kPairLinks);
+  link_avail_.resize(kPairLinks, 0.0);
+  link_count_.resize(kPairLinks, 0);
+  link_stamp_.resize(kPairLinks, 0);
+  link_visit_.resize(kPairLinks, 0);
+}
 
 namespace {
 
@@ -37,22 +44,35 @@ NodeId Fabric::add_node(Region region, ByteRate nic_up, ByteRate nic_down) {
   node_up_.push_back(nic_up);
   node_down_.push_back(nic_down);
   node_models_.push_back(nullptr);
+  const std::size_t links = kPairLinks + nodes_.size() * 2;
+  link_flows_.resize(links);
+  link_avail_.resize(links, 0.0);
+  link_count_.resize(links, 0);
+  link_stamp_.resize(links, 0);
+  link_visit_.resize(links, 0);
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
 void Fabric::set_node_failed(NodeId node, bool failed) {
   SAGE_CHECK(node < nodes_.size());
   if (nodes_[node].failed == failed) return;
-  advance_progress();
+  auto flows = take_ptrs();
+  collect_all_active(flows);
+  advance_flows(flows);
   nodes_[node].failed = failed;
   if (failed) {
-    std::vector<FlowId> doomed;
+    auto doomed = take_ids();
     for (const auto& [id, f] : flows_) {
       if (f.src == node || f.dst == node) doomed.push_back(id);
     }
+    // Abort in id order so callback order does not depend on map layout.
+    std::sort(doomed.begin(), doomed.end());
     for (FlowId id : doomed) finish_flow(id, FlowOutcome::kFailed);
+    put_ids(std::move(doomed));
   }
-  settle();
+  collect_all_active(flows);  // membership changed; re-snapshot
+  settle_flows(flows);
+  put_ptrs(std::move(flows));
 }
 
 bool Fabric::node_failed(NodeId node) const {
@@ -96,15 +116,6 @@ ByteRate Fabric::link_capacity_now(std::size_t link) {
 
 ByteRate Fabric::pair_capacity_now(Region a, Region b) {
   return link_capacity_now(pair_link(a, b));
-}
-
-std::size_t Fabric::pair_flow_count(Region a, Region b) const {
-  const std::size_t link = pair_link(a, b);
-  std::size_t n = 0;
-  for (const auto& [id, f] : flows_) {
-    if (f.links[1] == link) ++n;
-  }
-  return n;
 }
 
 FlowId Fabric::start_flow(NodeId src, NodeId dst, Bytes size, FlowOptions options,
@@ -152,19 +163,25 @@ FlowId Fabric::start_flow(NodeId src, NodeId dst, Bytes size, FlowOptions option
   f.links = {kPairLinks + static_cast<std::size_t>(src) * 2, pair_link(ra, rb),
              kPairLinks + static_cast<std::size_t>(dst) * 2 + 1};
   flows_.emplace(id, std::move(f));
+  ++pair_live_[pair_link(ra, rb)];
 
   const SimDuration setup = spec.latency + options.extra_setup_latency;
   engine_.schedule_after(setup, [this, id] {
     auto it = flows_.find(id);
     if (it == flows_.end()) return;  // cancelled during setup
-    advance_progress();
-    it->second.active = true;
-    it->second.last_progress = engine_.now();
-    if (it->second.remaining.is_zero()) {
+    Flow& flow = it->second;
+    if (flow.remaining.is_zero()) {
       finish_flow(id, FlowOutcome::kCompleted);
       return;
     }
-    settle();
+    flow.active = true;
+    flow.last_progress = engine_.now();
+    activate_flow(flow);
+    auto flows = take_ptrs();
+    collect_component(id, flows);
+    advance_flows(flows);  // neighbours progress at old rates before re-settling
+    settle_flows(flows);
+    put_ptrs(std::move(flows));
   });
   ensure_refresh_running();
   return id;
@@ -172,9 +189,21 @@ FlowId Fabric::start_flow(NodeId src, NodeId dst, Bytes size, FlowOptions option
 
 void Fabric::cancel_flow(FlowId id) {
   if (flows_.count(id) == 0) return;
-  advance_progress();
-  finish_flow(id, FlowOutcome::kCancelled);
-  settle();
+  auto flows = take_ptrs();
+  collect_component(id, flows);
+  advance_flows(flows);
+  if (flows_.count(id) != 0) {  // the advance may have completed it already
+    // finish_flow runs the cancelled flow's callback, which may re-enter;
+    // re-resolve the component afterwards (see advance_flows).
+    auto ids = take_ids();
+    ids.reserve(flows.size());
+    for (const Flow* fp : flows) ids.push_back(fp->id);
+    finish_flow(id, FlowOutcome::kCancelled);
+    resolve_live(ids, flows);
+    put_ids(std::move(ids));
+  }
+  settle_flows(flows);
+  put_ptrs(std::move(flows));
 }
 
 bool Fabric::flow_active(FlowId id) const { return flows_.count(id) != 0; }
@@ -188,13 +217,95 @@ ByteRate Fabric::flow_rate(FlowId id) const {
 Bytes Fabric::flow_transferred(FlowId id) const {
   auto it = flows_.find(id);
   if (it == flows_.end()) return Bytes::zero();
-  return it->second.total - it->second.remaining;
+  const Flow& f = it->second;
+  Bytes done = f.total - f.remaining;
+  // Byte counters advance lazily (only the settled component is brought
+  // current on a flow event), so project the settled rate forward.
+  if (f.active && !f.rate.is_zero()) {
+    const SimDuration dt = engine_.now() - f.last_progress;
+    if (dt > SimDuration::zero()) {
+      Bytes moved = f.rate * dt;
+      if (moved > f.remaining) moved = f.remaining;
+      done += moved;
+    }
+  }
+  return done;
 }
 
-void Fabric::advance_progress() {
+void Fabric::activate_flow(Flow& f) {
+  f.active_index = static_cast<std::uint32_t>(active_flows_.size());
+  active_flows_.push_back(&f);
+  for (int k = 0; k < 3; ++k) {
+    auto& list = link_flows_[f.links[k]];
+    f.link_pos[k] = static_cast<std::uint32_t>(list.size());
+    list.push_back(&f);
+  }
+}
+
+void Fabric::deactivate_flow(Flow& f) {
+  Flow* moved = active_flows_.back();
+  active_flows_[f.active_index] = moved;
+  moved->active_index = f.active_index;
+  active_flows_.pop_back();
+  for (int k = 0; k < 3; ++k) {
+    auto& list = link_flows_[f.links[k]];
+    Flow* tail = list.back();
+    list[f.link_pos[k]] = tail;
+    for (int j = 0; j < 3; ++j) {
+      if (tail->links[j] == f.links[k]) {
+        tail->link_pos[j] = f.link_pos[k];
+        break;
+      }
+    }
+    list.pop_back();
+  }
+}
+
+void Fabric::collect_component(FlowId origin, std::vector<Flow*>& out) {
+  out.clear();
+  auto it = flows_.find(origin);
+  if (it == flows_.end()) return;
+  if (++visit_epoch_ == 0) {  // stamp wrap: reset marks once per ~4e9 events
+    std::fill(link_visit_.begin(), link_visit_.end(), 0u);
+    for (auto& [id, f] : flows_) f.visit = 0;
+    visit_epoch_ = 1;
+  }
+  link_queue_.clear();
+  const auto visit = [&](Flow& f) {
+    if (f.visit == visit_epoch_) return;
+    f.visit = visit_epoch_;
+    out.push_back(&f);
+    if (!f.active) return;  // setup-phase flows occupy no links
+    for (std::size_t l : f.links) {
+      if (link_visit_[l] != visit_epoch_) {
+        link_visit_[l] = visit_epoch_;
+        link_queue_.push_back(l);
+      }
+    }
+  };
+  visit(it->second);
+  for (std::size_t head = 0; head < link_queue_.size(); ++head) {
+    for (Flow* g : link_flows_[link_queue_[head]]) visit(*g);
+  }
+}
+
+void Fabric::collect_all_active(std::vector<Flow*>& out) {
+  out.assign(active_flows_.begin(), active_flows_.end());
+}
+
+void Fabric::resolve_live(const std::vector<FlowId>& ids, std::vector<Flow*>& flows) {
+  flows.clear();
+  for (FlowId id : ids) {
+    auto it = flows_.find(id);
+    if (it != flows_.end()) flows.push_back(&it->second);
+  }
+}
+
+void Fabric::advance_flows(std::vector<Flow*>& flows, FlowId complete_hint) {
   const SimTime now = engine_.now();
-  std::vector<FlowId> done;
-  for (auto& [id, f] : flows_) {
+  auto done = take_ids();
+  for (Flow* fp : flows) {
+    Flow& f = *fp;
     if (!f.active) continue;
     const SimDuration dt = now - f.last_progress;
     f.last_progress = now;
@@ -205,14 +316,37 @@ void Fabric::advance_progress() {
     const Region ra = nodes_[f.src].region;
     const Region rb = nodes_[f.dst].region;
     if (ra != rb) egress_[region_index(ra)] += moved;
-    if (f.remaining.is_zero()) done.push_back(id);
+    if (f.remaining.is_zero()) done.push_back(f.id);
   }
-  for (FlowId id : done) finish_flow(id, FlowOutcome::kCompleted);
+  if (complete_hint != 0) {
+    // The completion event fires at the scheduled finish time; forgive the
+    // last sub-byte of integer rounding.
+    auto it = flows_.find(complete_hint);
+    if (it != flows_.end() && it->second.active && it->second.remaining <= Bytes::of(1) &&
+        std::find(done.begin(), done.end(), complete_hint) == done.end()) {
+      done.push_back(complete_hint);
+    }
+  }
+  if (!done.empty()) {
+    // Completion callbacks may re-enter the fabric and finish arbitrary
+    // flows, so spell the set as ids across the callbacks and re-resolve
+    // the survivors after. The common refresh tick (no completions) never
+    // reaches this path and runs without a single hash lookup.
+    auto ids = take_ids();
+    ids.reserve(flows.size());
+    for (const Flow* fp : flows) ids.push_back(fp->id);
+    for (FlowId id : done) finish_flow(id, FlowOutcome::kCompleted);
+    resolve_live(ids, flows);
+    put_ids(std::move(ids));
+  }
+  put_ids(std::move(done));
 }
 
 void Fabric::finish_flow(FlowId id, FlowOutcome outcome) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return;
+  if (it->second.active) deactivate_flow(it->second);
+  --pair_live_[it->second.links[1]];
   Flow f = std::move(it->second);
   flows_.erase(it);
   f.completion.cancel();
@@ -231,37 +365,49 @@ ByteRate Fabric::flow_demand(const Flow& flow) const {
   const auto& model = pair_models_[flow.links[1]];
   // The per-flow TCP ceiling breathes with the pair link's congestion
   // factor (window shrinkage under cross-traffic loss); the factor is
-  // fresh because settle() queried the link capacity just before.
+  // fresh because settle queried the link capacity just before.
   const double factor = model ? model->last_factor() : 1.0;
   cap = std::min(cap, flow.spec_flow_cap.bytes_per_second() * factor * flow.hiccup);
   return ByteRate::bytes_per_sec(std::max(cap, 1.0));
 }
 
-void Fabric::settle() {
-  if (settling_) return;
-  settling_ = true;
-
-  // Collect active flows and the capacities of every link they touch.
-  std::vector<Flow*> unsettled;
-  unsettled.reserve(flows_.size());
-  std::unordered_map<std::size_t, double> avail;
-  std::unordered_map<std::size_t, int> count;
-  for (auto& [id, f] : flows_) {
-    if (!f.active) continue;
-    unsettled.push_back(&f);
+void Fabric::settle_flows(const std::vector<Flow*>& flows) {
+  if (++stamp_ == 0) {
+    std::fill(link_stamp_.begin(), link_stamp_.end(), 0u);
+    stamp_ = 1;
+  }
+  unsettled_.clear();
+  touched_links_.clear();
+  to_reschedule_.clear();
+  old_rates_.clear();
+  for (Flow* fp : flows) {
+    if (!fp->active) continue;
+    Flow& f = *fp;
+    unsettled_.push_back(&f);
+    to_reschedule_.push_back(&f);
+    old_rates_.push_back(f.rate.bytes_per_second());
     for (std::size_t l : f.links) {
-      if (avail.find(l) == avail.end()) avail[l] = link_capacity_now(l).bytes_per_second();
-      ++count[l];
+      if (link_stamp_[l] != stamp_) {
+        link_stamp_[l] = stamp_;
+        link_avail_[l] = link_capacity_now(l).bytes_per_second();
+        link_count_[l] = 0;
+        touched_links_.push_back(l);
+      }
+      ++link_count_[l];
     }
   }
+  if (unsettled_.empty()) return;
+  // Bottleneck selection scans links in index order — deterministic across
+  // platforms and standard libraries (ties no longer depend on hash order).
+  std::sort(touched_links_.begin(), touched_links_.end());
 
   // Progressive water-filling with per-flow demand ceilings.
-  while (!unsettled.empty()) {
+  while (!unsettled_.empty()) {
     double share = std::numeric_limits<double>::infinity();
     std::size_t bottleneck = static_cast<std::size_t>(-1);
-    for (const auto& [l, c] : count) {
-      if (c <= 0) continue;
-      const double s = std::max(avail[l], 0.0) / static_cast<double>(c);
+    for (std::size_t l : touched_links_) {
+      if (link_count_[l] <= 0) continue;
+      const double s = std::max(link_avail_[l], 0.0) / static_cast<double>(link_count_[l]);
       if (s < share) {
         share = s;
         bottleneck = l;
@@ -269,76 +415,89 @@ void Fabric::settle() {
     }
     SAGE_CHECK(bottleneck != static_cast<std::size_t>(-1));
 
-    auto settle_flow = [&](Flow* f, double rate) {
+    const auto settle_flow = [&](Flow* f, double rate) {
       f->rate = ByteRate::bytes_per_sec(rate);
       for (std::size_t l : f->links) {
-        avail[l] -= rate;
-        --count[l];
+        link_avail_[l] -= rate;
+        --link_count_[l];
       }
     };
 
     // Demand-limited flows settle below the fair share first.
-    std::vector<Flow*> still;
-    still.reserve(unsettled.size());
+    still_.clear();
     bool any_demand_limited = false;
-    for (Flow* f : unsettled) {
+    for (Flow* f : unsettled_) {
       const double demand = flow_demand(*f).bytes_per_second();
       if (demand <= share + 1e-9) {
         settle_flow(f, demand);
         any_demand_limited = true;
       } else {
-        still.push_back(f);
+        still_.push_back(f);
       }
     }
     if (any_demand_limited) {
-      unsettled.swap(still);
+      unsettled_.swap(still_);
       continue;
     }
 
     // Otherwise the bottleneck link pins everyone crossing it at the share.
-    std::vector<Flow*> rest;
-    rest.reserve(unsettled.size());
-    for (Flow* f : unsettled) {
+    still_.clear();
+    for (Flow* f : unsettled_) {
       const bool on_bottleneck =
           f->links[0] == bottleneck || f->links[1] == bottleneck || f->links[2] == bottleneck;
       if (on_bottleneck) {
         settle_flow(f, share);
       } else {
-        rest.push_back(f);
+        still_.push_back(f);
       }
     }
-    unsettled.swap(rest);
+    unsettled_.swap(still_);
   }
 
-  // Reschedule completions at the new rates.
-  for (auto& [id, f] : flows_) {
-    if (!f.active) continue;
-    f.completion.cancel();
-    if (f.rate.is_zero() || f.remaining.is_zero()) continue;
+  // Reschedule completions at the new rates — but keep the queued event
+  // when the rate is unchanged (within tolerance) and the stored finish
+  // time is still exact for the new remaining bytes. Refresh ticks on
+  // stable links then leave the event heap untouched.
+  const SimTime now = engine_.now();
+  for (std::size_t i = 0; i < to_reschedule_.size(); ++i) {
+    Flow* f = to_reschedule_[i];
+    if (f->rate.is_zero() || f->remaining.is_zero()) {
+      f->completion.cancel();
+      continue;
+    }
     // Floor the ETA at one clock tick: sub-microsecond remainders would
     // otherwise reschedule at +0 forever. One tick at any rate that can
     // produce a sub-tick ETA moves at least the remaining byte.
     const SimDuration eta =
-        std::max(f.rate.time_for(f.remaining), SimDuration::micros(1));
-    const FlowId fid = id;
-    f.completion = engine_.schedule_after(eta, [this, fid] {
-      advance_progress();
-      // advance_progress normally finishes the flow exactly here; belt and
-      // braces for the last sub-byte of integer rounding:
-      auto it = flows_.find(fid);
-      if (it != flows_.end() && it->second.remaining <= Bytes::of(1)) {
-        finish_flow(fid, FlowOutcome::kCompleted);
-      }
-      settle();
-    });
+        std::max(f->rate.time_for(f->remaining), SimDuration::micros(1));
+    const SimTime target = now + eta;
+    if (f->completion.pending() && target == f->completion_at) {
+      const double prev = old_rates_[i];
+      const double cur = f->rate.bytes_per_second();
+      if (std::abs(cur - prev) <= kRateRelTolerance * std::max(prev, cur)) continue;
+    }
+    f->completion.cancel();
+    f->completion_at = target;
+    const FlowId fid = f->id;
+    f->completion = engine_.schedule_at(target, [this, fid] { on_completion(fid); });
   }
-  settling_ = false;
+}
+
+void Fabric::on_completion(FlowId id) {
+  auto flows = take_ptrs();
+  collect_component(id, flows);
+  advance_flows(flows, /*complete_hint=*/id);
+  settle_flows(flows);
+  put_ptrs(std::move(flows));
 }
 
 void Fabric::refresh_tick() {
   if (flows_.empty()) return;  // goes dormant; restarted by next start_flow
-  advance_progress();
-  settle();
+  auto flows = take_ptrs();
+  collect_all_active(flows);
+  advance_flows(flows);
+  settle_flows(flows);
+  put_ptrs(std::move(flows));
   refresh_event_ = engine_.schedule_after(refresh_period_, [this] { refresh_tick(); });
 }
 
@@ -346,5 +505,25 @@ void Fabric::ensure_refresh_running() {
   if (refresh_event_.pending()) return;
   refresh_event_ = engine_.schedule_after(refresh_period_, [this] { refresh_tick(); });
 }
+
+std::vector<FlowId> Fabric::take_ids() {
+  if (id_pool_.empty()) return {};
+  std::vector<FlowId> v = std::move(id_pool_.back());
+  id_pool_.pop_back();
+  v.clear();
+  return v;
+}
+
+void Fabric::put_ids(std::vector<FlowId>&& v) { id_pool_.push_back(std::move(v)); }
+
+std::vector<Fabric::Flow*> Fabric::take_ptrs() {
+  if (ptr_pool_.empty()) return {};
+  std::vector<Flow*> v = std::move(ptr_pool_.back());
+  ptr_pool_.pop_back();
+  v.clear();
+  return v;
+}
+
+void Fabric::put_ptrs(std::vector<Flow*>&& v) { ptr_pool_.push_back(std::move(v)); }
 
 }  // namespace sage::cloud

@@ -11,6 +11,15 @@
 // periodic refresh (active only while flows exist) re-settles rates so flows
 // experience the environment drift that SAGE's monitoring layer must detect.
 //
+// Settlement is incremental: link ids are dense, per-link active-flow lists
+// are maintained on flow start/finish, and a flow event re-settles only the
+// connected component of flows transitively sharing a link with the changed
+// flow (flows on disjoint link sets cannot change rate under max-min).
+// Periodic refresh still re-settles everything so capacity drift reaches
+// every flow, but a completion event is only re-queued when the flow's
+// scheduled finish time actually moved. See DESIGN.md "Simulator
+// performance" for the algorithm and the determinism invariants.
+//
 // This is a deliberate substitution for the paper's real Azure testbed: the
 // scheduler and model layers only ever observe flow-level throughput, which
 // this fabric reproduces (see DESIGN.md substitution table).
@@ -111,9 +120,13 @@ class Fabric {
 
   [[nodiscard]] std::size_t active_flow_count() const { return flows_.size(); }
 
-  /// Number of live flows currently crossing the (a, b) region-pair link.
-  /// The monitoring layer uses this to suspend probes on busy links.
-  [[nodiscard]] std::size_t pair_flow_count(Region a, Region b) const;
+  /// Number of live flows currently crossing the (a, b) region-pair link
+  /// (including flows still in their setup-latency phase). O(1): served
+  /// from the per-link flow counters. The monitoring layer uses this to
+  /// suspend probes on busy links.
+  [[nodiscard]] std::size_t pair_flow_count(Region a, Region b) const {
+    return pair_live_[pair_link(a, b)];
+  }
 
   /// Rate-settlement granularity (default 500 ms of simulated time).
   void set_refresh_period(SimDuration d) { refresh_period_ = d; }
@@ -128,6 +141,12 @@ class Fabric {
   static constexpr double kHiccupDepthLo = 0.10;
   static constexpr double kHiccupDepthHi = 0.45;
 
+  // A re-settled flow keeps its scheduled completion event when its rate
+  // moved by at most this relative amount AND the previously scheduled
+  // finish time is still exact (to the microsecond) for the new remaining
+  // bytes at the new rate. Refresh ticks on stable links are then heap-free.
+  static constexpr double kRateRelTolerance = 1e-9;
+
   struct Flow {
     FlowId id;
     NodeId src;
@@ -140,10 +159,14 @@ class Fabric {
     ByteRate rate;           // current settled rate
     SimTime started;
     SimTime last_progress;
-    bool active = false;  // false while in setup-latency phase
+    SimTime completion_at;  // target of the scheduled completion event
+    bool active = false;    // false while in setup-latency phase
     CompletionFn on_done;
     sim::EventHandle completion;
-    std::array<std::size_t, 3> links{};  // up, pair, down
+    std::array<std::size_t, 3> links{};       // up, pair, down (all distinct)
+    std::array<std::uint32_t, 3> link_pos{};  // position in each link's flow list
+    std::uint32_t active_index = 0;           // position in active_flows_
+    std::uint32_t visit = 0;                  // component-BFS visit stamp
   };
 
   struct NodeInfo {
@@ -160,10 +183,35 @@ class Fabric {
   /// drift therefore hits single flows too, not just saturated links.
   [[nodiscard]] ByteRate flow_demand(const Flow& flow) const;
 
-  /// Bring all flow byte-counters up to `now` at their settled rates.
-  void advance_progress();
-  /// Recompute all flow rates (max-min) and reschedule completions.
-  void settle();
+  // Incremental bookkeeping -------------------------------------------------
+
+  /// Make `f` visible to settlement: per-link flow lists + active list.
+  void activate_flow(Flow& f);
+  /// Undo activate_flow (swap-erase, O(1) per link).
+  void deactivate_flow(Flow& f);
+
+  /// Flows transitively sharing a link with `origin` (including it).
+  /// Only active flows occupy links and propagate the search.
+  void collect_component(FlowId origin, std::vector<Flow*>& out);
+  /// Snapshot of every active flow, in settlement order.
+  void collect_all_active(std::vector<Flow*>& out);
+
+  /// Re-resolve `flows` to the subset of `ids` still alive (order kept).
+  void resolve_live(const std::vector<FlowId>& ids, std::vector<Flow*>& flows);
+
+  /// Bring `flows` up to `now` at their settled rates. If any complete,
+  /// their callbacks fire and `flows` is re-resolved to the survivors (the
+  /// no-completion fast path touches no hash lookups). `complete_hint`
+  /// names a flow that should complete even if integer rounding left it a
+  /// final sub-byte (completion-event path).
+  void advance_flows(std::vector<Flow*>& flows, FlowId complete_hint = 0);
+
+  /// Max-min water-filling over the active flows in `flows`, using the
+  /// dense per-link scratch buffers, then reschedule completion events
+  /// with hysteresis. Runs no user callbacks.
+  void settle_flows(const std::vector<Flow*>& flows);
+
+  void on_completion(FlowId id);
   void finish_flow(FlowId id, FlowOutcome outcome);
   void refresh_tick();
   void ensure_refresh_running();
@@ -186,11 +234,45 @@ class Fabric {
   // Pair-link capacity models, created lazily per directed pair.
   std::array<std::optional<LinkCapacityModel>, kPairLinks> pair_models_;
 
-  std::unordered_map<FlowId, Flow> flows_;
+  std::unordered_map<FlowId, Flow> flows_;  // node-based: Flow* stay stable
   FlowId next_flow_id_ = 1;
   std::array<Bytes, kRegionCount> egress_{};
   sim::EventHandle refresh_event_;
-  bool settling_ = false;
+
+  // Dense, persistent link accounting (index = link id). Scratch entries
+  // are validated by stamp so a settle touches only its component's links —
+  // no per-call clearing, no hashing, deterministic index-order iteration.
+  std::vector<std::vector<Flow*>> link_flows_;  // active flows per link
+  std::array<std::uint32_t, kPairLinks> pair_live_{};  // live flows per pair link
+  std::vector<double> link_avail_;       // scratch: unallocated capacity
+  std::vector<std::int32_t> link_count_; // scratch: unsettled flows on link
+  std::vector<std::uint32_t> link_stamp_;
+  std::vector<std::uint32_t> link_visit_;
+  std::uint32_t stamp_ = 0;
+  std::uint32_t visit_epoch_ = 0;
+
+  std::vector<Flow*> active_flows_;  // deterministic settlement order
+
+  // Reused scratch (persistent capacity, no steady-state allocations).
+  // These are only used inside settle_flows / collect_*, which run no user
+  // callbacks, so plain members are re-entrancy safe.
+  std::vector<std::size_t> link_queue_;
+  std::vector<std::size_t> touched_links_;
+  std::vector<Flow*> unsettled_;
+  std::vector<Flow*> still_;
+  std::vector<Flow*> to_reschedule_;
+  std::vector<double> old_rates_;  // parallel to to_reschedule_
+
+  // Flow lists live across completion callbacks (which may re-enter the
+  // fabric), so they come from small recycle pools instead of members. The
+  // Flow* lists carry the hot path (no hash lookups); the id lists are the
+  // durable spelling used to re-resolve survivors after callbacks ran.
+  std::vector<std::vector<FlowId>> id_pool_;
+  std::vector<std::vector<Flow*>> ptr_pool_;
+  std::vector<FlowId> take_ids();
+  void put_ids(std::vector<FlowId>&& v);
+  std::vector<Flow*> take_ptrs();
+  void put_ptrs(std::vector<Flow*>&& v);
 };
 
 }  // namespace sage::cloud

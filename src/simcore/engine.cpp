@@ -5,17 +5,28 @@
 namespace sage::sim {
 
 void EventHandle::cancel() {
-  if (cancelled_) *cancelled_ = true;
+  if (engine_ == nullptr || !engine_->live(slot_, gen_)) return;
+  engine_->release_slot(slot_);
 }
 
-bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
+bool EventHandle::pending() const { return engine_ != nullptr && engine_->live(slot_, gen_); }
 
 EventHandle SimEngine::schedule_at(SimTime t, Callback fn) {
   SAGE_CHECK_MSG(t >= now_, "cannot schedule an event in the simulated past");
   SAGE_CHECK(fn != nullptr);
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{t, next_seq_++, std::move(fn), cancelled});
-  return EventHandle{std::move(cancelled)};
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  ++s.gen;  // even -> odd: live
+  s.fn = std::move(fn);
+  queue_.push(Event{t, next_seq_++, slot, s.gen});
+  return EventHandle{this, slot, s.gen};
 }
 
 EventHandle SimEngine::schedule_after(SimDuration delay, Callback fn) {
@@ -23,16 +34,23 @@ EventHandle SimEngine::schedule_after(SimDuration delay, Callback fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+void SimEngine::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  ++s.gen;  // odd -> even: dead; stale heap entries / handles now mismatch
+  s.fn = nullptr;
+  free_slots_.push_back(slot);
+}
+
 bool SimEngine::fire_next() {
   while (!queue_.empty()) {
-    Event ev = queue_.top();
+    const Event ev = queue_.top();
     queue_.pop();
-    if (*ev.cancelled) continue;
-    // The handle's flag doubles as a "fired" marker so pending() turns false.
-    *ev.cancelled = true;
+    if (!live(ev.slot, ev.gen)) continue;  // cancelled, drop lazily
+    Callback fn = std::move(slots_[ev.slot].fn);
+    release_slot(ev.slot);
     now_ = ev.at;
     ++fired_;
-    ev.fn();
+    fn();
     return true;
   }
   return false;
@@ -49,11 +67,12 @@ std::uint64_t SimEngine::run_until(SimTime t) {
   std::uint64_t n = 0;
   while (!queue_.empty()) {
     // Skip cancelled events eagerly so they do not block the horizon test.
-    if (*queue_.top().cancelled) {
+    const Event& top = queue_.top();
+    if (!live(top.slot, top.gen)) {
       queue_.pop();
       continue;
     }
-    if (queue_.top().at > t) break;
+    if (top.at > t) break;
     if (fire_next()) ++n;
   }
   now_ = t;

@@ -6,11 +6,17 @@
 // determinism is a hard requirement for regenerating the paper tables — and
 // events with equal timestamps fire in scheduling order (FIFO tie-break via
 // a monotone sequence number).
+//
+// Scheduling is allocation-free beyond the callback itself: event state
+// lives in a slab of reusable slots, and cancellation is a generation
+// check (an EventHandle names a (slot, generation) pair; releasing a slot
+// bumps its generation so stale handles and stale heap entries are inert).
+// Cancelled events are dropped lazily when they surface at the top of the
+// heap, exactly as before.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <queue>
 #include <vector>
 
@@ -18,8 +24,12 @@
 
 namespace sage::sim {
 
+class SimEngine;
+
 /// Handle used to cancel a scheduled event. Default-constructed handles are
-/// inert; cancelling an already-fired event is a no-op.
+/// inert; cancelling an already-fired event is a no-op. A handle names a
+/// (slot, generation) pair inside its engine's slab, so it must not be used
+/// after the engine is destroyed.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -29,8 +39,12 @@ class EventHandle {
 
  private:
   friend class SimEngine;
-  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(SimEngine* engine, std::uint32_t slot, std::uint64_t gen)
+      : engine_(engine), slot_(slot), gen_(gen) {}
+
+  SimEngine* engine_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t gen_ = 0;
 };
 
 class SimEngine {
@@ -60,14 +74,25 @@ class SimEngine {
 
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+  /// Heap entries, including lazily-dropped cancelled events.
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
  private:
+  friend class EventHandle;
+
+  // A slot is live while its generation is odd (allocation bumps even->odd,
+  // release bumps odd->even). The strictly increasing generation makes every
+  // stale reference — an old EventHandle or an abandoned heap entry — detect
+  // its own staleness with one compare, even after the slot is reused.
+  struct Slot {
+    std::uint64_t gen = 0;
+    Callback fn;
+  };
   struct Event {
     SimTime at;
     std::uint64_t seq;
-    Callback fn;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint64_t gen;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -77,11 +102,17 @@ class SimEngine {
   };
 
   bool fire_next();
+  [[nodiscard]] bool live(std::uint32_t slot, std::uint64_t gen) const {
+    return slots_[slot].gen == gen;
+  }
+  void release_slot(std::uint32_t slot);
 
   SimTime now_ = SimTime::epoch();
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 /// Repeats a callback at a fixed interval until stopped. The first firing is

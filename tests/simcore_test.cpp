@@ -76,6 +76,44 @@ TEST(SimEngineTest, HandleNotPendingAfterFiring) {
   EXPECT_FALSE(h.pending());
 }
 
+TEST(SimEngineTest, StaleHandleDoesNotCancelReusedSlot) {
+  SimEngine engine;
+  int fired = 0;
+  EventHandle a = engine.schedule_after(SimDuration::seconds(1), [&] { fired += 1; });
+  a.cancel();
+  // The freed slot is recycled by the next event; the stale handle must see
+  // the generation mismatch and stay inert.
+  EventHandle b = engine.schedule_after(SimDuration::seconds(2), [&] { fired += 10; });
+  a.cancel();
+  EXPECT_FALSE(a.pending());
+  EXPECT_TRUE(b.pending());
+  engine.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(SimEngineTest, HandleOfFiredEventDoesNotCancelReusedSlot) {
+  SimEngine engine;
+  int fired = 0;
+  EventHandle a = engine.schedule_after(SimDuration::seconds(1), [&] { fired += 1; });
+  engine.run();
+  EventHandle b = engine.schedule_after(SimDuration::seconds(1), [&] { fired += 10; });
+  a.cancel();  // a's slot now belongs to b
+  EXPECT_TRUE(b.pending());
+  engine.run();
+  EXPECT_EQ(fired, 11);
+}
+
+TEST(SimEngineTest, CancelledEventsDropLazilyFromHeap) {
+  SimEngine engine;
+  EventHandle h = engine.schedule_after(SimDuration::seconds(1), [] {});
+  EXPECT_EQ(engine.pending_events(), 1u);
+  h.cancel();
+  // The heap entry stays until it surfaces; it must not fire or count.
+  EXPECT_EQ(engine.pending_events(), 1u);
+  EXPECT_EQ(engine.run(), 0u);
+  EXPECT_TRUE(engine.empty());
+}
+
 TEST(SimEngineTest, RunUntilStopsAtHorizon) {
   SimEngine engine;
   int fired = 0;
