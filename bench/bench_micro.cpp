@@ -6,11 +6,15 @@
 #include <benchmark/benchmark.h>
 
 #include "cloud/fabric.hpp"
+#include "cloud/provider.hpp"
 #include "cloud/topology.hpp"
 #include "common/rng.hpp"
 #include "monitor/estimator.hpp"
 #include "sched/multipath.hpp"
 #include "simcore/engine.hpp"
+#include "stream/graph.hpp"
+#include "stream/operator.hpp"
+#include "stream/runtime.hpp"
 
 namespace sage {
 namespace {
@@ -146,6 +150,157 @@ void BM_SettleDisjoint(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SettleDisjoint)->Arg(16)->Arg(64)->Arg(256);
+
+// ---------------------------------------------------------------------------
+// Streaming data plane.
+// ---------------------------------------------------------------------------
+
+/// Backend for single-site jobs (never reached).
+struct NullBackend final : stream::TransferBackend {
+  void send(cloud::Region, cloud::Region, Bytes, DoneFn done) override {
+    done(stream::SendOutcome{true, SimDuration::zero()});
+  }
+  [[nodiscard]] std::string_view name() const override { return "null"; }
+};
+
+stream::RecordBatch chain_input(std::size_t n) {
+  stream::RecordBatch in;
+  Rng rng(7);
+  for (std::size_t i = 0; i < n; ++i) {
+    stream::Record r;
+    r.event_time = SimTime::epoch();
+    r.key = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 16));
+    r.value = rng.uniform(-2.0, 2.0);
+    r.wire_size = Bytes::of(64);
+    in.add(r);
+  }
+  return in;
+}
+
+std::vector<std::shared_ptr<stream::Operator>> chain_ops() {
+  using stream::Record;
+  std::vector<std::shared_ptr<stream::Operator>> ops;
+  ops.push_back(stream::make_map("scale", [](const Record& r) {
+    Record o = r;
+    o.value = r.value * 1.5 + 0.25;
+    return o;
+  }));
+  ops.push_back(stream::make_filter("pos", [](const Record& r) { return r.value > -1.0; }));
+  ops.push_back(stream::make_map("clamp", [](const Record& r) {
+    Record o = r;
+    o.value = r.value > 1.0 ? 1.0 : r.value;
+    return o;
+  }));
+  ops.push_back(
+      stream::make_filter("mod", [](const Record& r) { return r.key % 10 != 0; }));
+  return ops;
+}
+
+void BM_StreamPipeline(benchmark::State& state) {
+  // End-to-end single-site runtime: source -> map -> filter -> map -> filter
+  // -> sink, 40k rec/s for 5 simulated seconds per iteration. Exercises the
+  // whole data plane: source emission, vertex queues, per-record operator
+  // work, dispatch and sink accounting.
+  constexpr double kRate = 40000.0;
+  constexpr int kSeconds = 5;
+  for (auto _ : state) {
+    sim::SimEngine engine;
+    cloud::CloudProvider provider(engine, cloud::stable_topology(), 11);
+    stream::JobGraph g;
+    stream::SourceSpec spec;
+    spec.records_per_sec = kRate;
+    spec.key_count = 1 << 16;
+    const auto src = g.add_source("s", cloud::Region::kNorthEU, spec);
+    stream::VertexId prev = src;
+    int i = 0;
+    for (auto& op : chain_ops()) {
+      const auto v = g.add_operator("op" + std::to_string(i++), cloud::Region::kNorthEU, op);
+      g.connect(prev, v);
+      prev = v;
+    }
+    const auto sink = g.add_sink("k", cloud::Region::kNorthEU);
+    g.connect(prev, sink);
+    NullBackend backend;
+    stream::StreamRuntime runtime(provider, std::move(g), backend, stream::RuntimeConfig{});
+    runtime.start();
+    engine.run_until(engine.now() + SimDuration::seconds(kSeconds));
+    runtime.stop();
+    benchmark::DoNotOptimize(runtime.sink_stats(sink).records);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kRate) * kSeconds);
+}
+BENCHMARK(BM_StreamPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_KeyedAggregate(benchmark::State& state) {
+  // Keyed tumbling-window state: 1024-record batches over `range(0)` keys,
+  // window flush every 64 batches — the WindowAggregateOperator hot loop
+  // plus the dense flush iteration.
+  const auto keys = static_cast<std::uint64_t>(state.range(0));
+  stream::WindowAggregateOperator op("agg", SimDuration::seconds(1),
+                                     stream::AggregateFn::kMean);
+  constexpr std::size_t kBatch = 1024;
+  std::vector<stream::RecordBatch> batches;
+  Rng rng(3);
+  for (int b = 0; b < 64; ++b) {
+    stream::RecordBatch in;
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      stream::Record r;
+      r.key = static_cast<std::uint64_t>(rng.uniform_int(0, static_cast<std::int64_t>(keys) - 1));
+      r.value = rng.uniform(0.0, 1.0);
+      in.add(r);
+    }
+    batches.push_back(std::move(in));
+  }
+  stream::RecordBatch none;
+  stream::RecordBatch out;
+  std::size_t b = 0;
+  for (auto _ : state) {
+    op.process(0, batches[b], none);
+    if (++b == batches.size()) {
+      b = 0;
+      out.clear();
+      op.on_timer(SimTime::epoch(), out);
+      benchmark::DoNotOptimize(out.size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_KeyedAggregate)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_FusedChain(benchmark::State& state) {
+  // The stateless map/filter chain over one 4096-record batch: per-vertex
+  // execution with intermediate batch materialization (arg 0) vs the fused
+  // single-pass operator (arg 1).
+  const bool fused = state.range(0) != 0;
+  const auto ops = chain_ops();
+  const stream::RecordBatch in = chain_input(4096);
+  if (fused) {
+    std::vector<stream::StatelessStage> stages;
+    for (const auto& op : ops) {
+      const bool ok = op->collect_stages(stages);
+      SAGE_CHECK(ok);
+    }
+    stream::FusedStatelessChain chain("fused", std::move(stages));
+    for (auto _ : state) {
+      stream::RecordBatch cur = in;
+      stream::RecordBatch out;
+      chain.process_batch(0, std::move(cur), out);
+      benchmark::DoNotOptimize(out.size());
+    }
+  } else {
+    for (auto _ : state) {
+      stream::RecordBatch cur = in;
+      for (const auto& op : ops) {
+        stream::RecordBatch next;
+        op->process(0, cur, next);
+        cur = std::move(next);
+      }
+      benchmark::DoNotOptimize(cur.size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_FusedChain)->Arg(0)->Arg(1);
 
 monitor::ThroughputMatrix bench_matrix() {
   monitor::ThroughputMatrix m;

@@ -3,63 +3,12 @@
 #include <cmath>
 
 namespace sage {
-namespace {
-
-constexpr std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) {
   SplitMix64 sm(seed);
   for (auto& w : s_) w = sm.next();
 }
 
 Rng Rng::fork() { return Rng(next_u64()); }
-
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 high bits -> double in [0, 1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
-
-std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  const auto span = static_cast<std::uint64_t>(hi - lo + 1);
-  return lo + static_cast<std::int64_t>(next_u64() % span);
-}
-
-double Rng::normal() {
-  if (has_spare_) {
-    has_spare_ = false;
-    return spare_;
-  }
-  double u = 0.0;
-  double v = 0.0;
-  double s = 0.0;
-  do {
-    u = uniform(-1.0, 1.0);
-    v = uniform(-1.0, 1.0);
-    s = u * u + v * v;
-  } while (s >= 1.0 || s == 0.0);
-  const double m = std::sqrt(-2.0 * std::log(s) / s);
-  spare_ = v * m;
-  has_spare_ = true;
-  return u * m;
-}
-
-double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
 
 double Rng::exponential(double rate) { return -std::log1p(-uniform()) / rate; }
 

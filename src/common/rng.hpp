@@ -10,6 +10,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 
 namespace sage {
@@ -38,17 +39,57 @@ class Rng {
   /// Derive an independent child stream (for per-link / per-source RNGs).
   [[nodiscard]] Rng fork();
 
-  std::uint64_t next_u64();
+  // The draw primitives below are inline: workload generation calls them
+  // once (or more) per record on the data-plane hot path.
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform in [0, 1).
-  double uniform();
+  double uniform() {
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
   /// Uniform in [lo, hi).
-  double uniform(double lo, double hi);
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
   /// Uniform integer in [lo, hi] inclusive.
-  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
-  /// Standard normal via Box-Muller (cached spare).
-  double normal();
-  double normal(double mean, double stddev);
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo + 1);
+    // Power-of-two spans (the usual key-space size) mask instead of paying
+    // a hardware divide; the result is identical to `% span` for any draw.
+    const std::uint64_t x = next_u64();
+    const std::uint64_t r = (span & (span - 1)) == 0 ? (x & (span - 1)) : x % span;
+    return lo + static_cast<std::int64_t>(r);
+  }
+  /// Standard normal via Marsaglia polar (cached spare).
+  double normal() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    has_spare_ = true;
+    return u * m;
+  }
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
   /// Exponential with the given rate (mean 1/rate).
   double exponential(double rate);
   /// Pareto with scale xm > 0 and shape alpha > 0 (heavy-tailed incidents).
@@ -59,6 +100,10 @@ class Rng {
   std::int64_t zipf(std::int64_t n, double s);
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> s_{};
   double spare_ = 0.0;
   bool has_spare_ = false;

@@ -55,11 +55,6 @@ void Ewma::add(double x) {
   }
 }
 
-void SampleSet::add(double x) {
-  xs_.push_back(x);
-  sorted_valid_ = false;
-}
-
 double SampleSet::mean() const {
   if (xs_.empty()) return 0.0;
   double s = 0.0;

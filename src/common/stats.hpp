@@ -52,7 +52,11 @@ class Ewma {
 /// for confidence intervals.
 class SampleSet {
  public:
-  void add(double x);
+  // Inline: sinks call this once per record on the data-plane hot path.
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_valid_ = false;
+  }
   [[nodiscard]] std::size_t count() const { return xs_.size(); }
   [[nodiscard]] double mean() const;
   [[nodiscard]] double stddev() const;

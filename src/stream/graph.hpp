@@ -75,6 +75,15 @@ class JobGraph {
   /// with outputs, sources with inputs, or a port-1 edge into a non-join.
   void validate() const;
 
+  /// Collapse linear runs of same-site stateless operators (maps, filters,
+  /// already-fused chains) into single FusedStatelessChain vertices, so a
+  /// batch crosses the run in one executor dispatch with no intermediate
+  /// materialization. Only merges A -> B where A has exactly one out-edge
+  /// and B exactly one in-edge; vertex ids are preserved (B's operator moves
+  /// into A and B is left disconnected), so ids held by callers — sinks,
+  /// metrics probes — stay valid. Returns the number of merges performed.
+  std::size_t fuse_stateless_chains();
+
  private:
   std::vector<Vertex> vertices_;
   std::vector<Edge> edges_;

@@ -6,21 +6,22 @@
 
 namespace sage::stream {
 
-MapOperator::MapOperator(std::string name, Fn fn, double cost)
-    : name_(std::move(name)), fn_(std::move(fn)), cost_(cost) {
-  SAGE_CHECK(fn_ != nullptr);
-  SAGE_CHECK(cost_ > 0.0);
-}
-
 void MapOperator::process(int port, const RecordBatch& in, RecordBatch& out) {
   SAGE_CHECK_MSG(port == 0, "map has a single input port");
+  out.reserve(out.size() + in.size());
   for (const Record& r : in.records()) out.add(fn_(r));
 }
 
-FilterOperator::FilterOperator(std::string name, Pred pred, double cost)
-    : name_(std::move(name)), pred_(std::move(pred)), cost_(cost) {
-  SAGE_CHECK(pred_ != nullptr);
-  SAGE_CHECK(cost_ > 0.0);
+void MapOperator::process_batch(int port, RecordBatch&& in, RecordBatch& out) {
+  SAGE_CHECK_MSG(port == 0, "map has a single input port");
+  SAGE_CHECK_MSG(out.empty(), "process_batch writes into an empty batch");
+  out.append(std::move(in));
+  apply_(out);
+}
+
+bool MapOperator::collect_stages(std::vector<StatelessStage>& stages) const {
+  stages.push_back(StatelessStage{fn_, nullptr, apply_, cost_});
+  return true;
 }
 
 void FilterOperator::process(int port, const RecordBatch& in, RecordBatch& out) {
@@ -28,6 +29,102 @@ void FilterOperator::process(int port, const RecordBatch& in, RecordBatch& out) 
   for (const Record& r : in.records()) {
     if (pred_(r)) out.add(r);
   }
+}
+
+void FilterOperator::process_batch(int port, RecordBatch&& in, RecordBatch& out) {
+  SAGE_CHECK_MSG(port == 0, "filter has a single input port");
+  SAGE_CHECK_MSG(out.empty(), "process_batch writes into an empty batch");
+  out.append(std::move(in));
+  apply_(out);
+}
+
+bool FilterOperator::collect_stages(std::vector<StatelessStage>& stages) const {
+  stages.push_back(StatelessStage{nullptr, pred_, apply_, cost_});
+  return true;
+}
+
+FusedStatelessChain::FusedStatelessChain(std::string name,
+                                         std::vector<StatelessStage> stages)
+    : name_(std::move(name)), stages_(std::move(stages)) {
+  SAGE_CHECK_MSG(!stages_.empty(), "fused chain needs at least one stage");
+  for (const StatelessStage& s : stages_) {
+    SAGE_CHECK_MSG((s.map != nullptr) != (s.filter != nullptr),
+                   "a stage is exactly one of map / filter");
+    SAGE_CHECK(s.cost > 0.0);
+  }
+}
+
+void FusedStatelessChain::process(int port, const RecordBatch& in, RecordBatch& out) {
+  SAGE_CHECK_MSG(port == 0, "fused chain has a single input port");
+  out.reserve(out.size() + in.size());
+  for (const Record& r : in.records()) {
+    Record cur = r;
+    bool keep = true;
+    for (const StatelessStage& s : stages_) {
+      if (s.map) {
+        cur = s.map(cur);
+      } else if (!s.filter(cur)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.add(cur);
+  }
+}
+
+void FusedStatelessChain::process_batch(int port, RecordBatch&& in, RecordBatch& out) {
+  SAGE_CHECK_MSG(port == 0, "fused chain has a single input port");
+  SAGE_CHECK_MSG(out.empty(), "process_batch writes into an empty batch");
+  out.append(std::move(in));
+  // Stage-at-a-time over the one buffer: no intermediate batch is ever
+  // materialized, and each tight per-stage loop keeps a single indirect
+  // call target (record-at-a-time cycling through the stages defeats
+  // indirect-branch prediction and measures ~30% slower).
+  for (std::size_t i = 0; i < stages_.size() && !out.empty(); ++i) {
+    apply_stage(i, out);
+  }
+}
+
+double FusedStatelessChain::cost_per_record() const {
+  double sum = 0.0;
+  for (const StatelessStage& s : stages_) sum += s.cost;
+  return sum;
+}
+
+bool FusedStatelessChain::collect_stages(std::vector<StatelessStage>& stages) const {
+  stages.insert(stages.end(), stages_.begin(), stages_.end());
+  return true;
+}
+
+void FusedStatelessChain::apply_stage(std::size_t i, RecordBatch& batch) const {
+  SAGE_CHECK(i < stages_.size());
+  const StatelessStage& s = stages_[i];
+  if (s.apply) {
+    s.apply(batch);
+    return;
+  }
+  // Stages built by hand without a batch closure fall back to the
+  // per-record form.
+  auto& recs = batch.records();
+  Bytes total = Bytes::zero();
+  if (s.map) {
+    for (Record& r : recs) {
+      r = s.map(r);
+      total += r.wire_size;
+    }
+  } else {
+    std::size_t w = 0;
+    for (const Record& r : recs) {
+      if (s.filter(r)) {
+        recs[w++] = r;
+        total += r.wire_size;
+      }
+    }
+    recs.resize(w);
+    batch.set_wire_size(total);
+    return;
+  }
+  batch.set_wire_size(total);
 }
 
 WindowAggregateOperator::WindowAggregateOperator(std::string name, SimDuration window,
@@ -43,24 +140,24 @@ void WindowAggregateOperator::process(int port, const RecordBatch& in, RecordBat
   SAGE_CHECK_MSG(port == 0, "window aggregate has a single input port");
   (void)out;  // results are emitted on window close, not per batch
   for (const Record& r : in.records()) {
-    auto [it, inserted] = state_.try_emplace(r.key);
-    KeyState& s = it->second;
+    auto [s, inserted] = state_.find_or_insert(r.key);
     if (inserted) {
-      s.min = s.max = r.value;
-      s.oldest_event = r.event_time;
+      s->min = s->max = r.value;
+      s->oldest_event = r.event_time;
     } else {
-      s.min = std::min(s.min, r.value);
-      s.max = std::max(s.max, r.value);
-      if (r.event_time < s.oldest_event) s.oldest_event = r.event_time;
+      s->min = std::min(s->min, r.value);
+      s->max = std::max(s->max, r.value);
+      if (r.event_time < s->oldest_event) s->oldest_event = r.event_time;
     }
-    s.sum += r.value;
-    ++s.count;
+    s->sum += r.value;
+    ++s->count;
   }
 }
 
 void WindowAggregateOperator::on_timer(SimTime now, RecordBatch& out) {
   (void)now;
-  for (const auto& [key, s] : state_) {
+  out.reserve(out.size() + state_.size());
+  state_.for_each([&](std::uint64_t key, const KeyState& s) {
     Record r;
     r.key = key;
     r.event_time = s.oldest_event;
@@ -83,7 +180,7 @@ void WindowAggregateOperator::on_timer(SimTime now, RecordBatch& out) {
         break;
     }
     out.add(r);
-  }
+  });
   state_.clear();
 }
 
@@ -103,9 +200,8 @@ void WindowJoinOperator::process(int port, const RecordBatch& in, RecordBatch& o
   auto& other = (port == 0) ? right_ : left_;
   for (const Record& r : in.records()) {
     // Probe the opposite side first, then insert.
-    auto it = other.find(r.key);
-    if (it != other.end()) {
-      for (const Record& m : it->second) {
+    if (const std::vector<Record>* matches = other.find(r.key)) {
+      for (const Record& m : *matches) {
         Record j;
         j.key = r.key;
         // Latency accounting: a join result is as old as its older parent.
@@ -115,19 +211,22 @@ void WindowJoinOperator::process(int port, const RecordBatch& in, RecordBatch& o
         out.add(j);
       }
     }
-    own[r.key].push_back(r);
+    auto [side, inserted] = own.find_or_insert(r.key);
+    if (inserted) side->reserve(8);  // skip the 1/2/4 growth stairs per key
+    side->push_back(r);
   }
 }
 
 void WindowJoinOperator::expire(SimTime now) {
   const SimTime cutoff_guard = SimTime::epoch() + window_;
   const SimTime cutoff = now < cutoff_guard ? SimTime::epoch() : now - window_;
-  auto sweep = [cutoff](auto& side) {
-    for (auto it = side.begin(); it != side.end();) {
-      auto& v = it->second;
+  auto sweep = [this, cutoff](FlatMap<std::vector<Record>>& side) {
+    evict_scratch_.clear();
+    side.for_each([&](std::uint64_t key, std::vector<Record>& v) {
       std::erase_if(v, [cutoff](const Record& r) { return r.event_time < cutoff; });
-      it = v.empty() ? side.erase(it) : std::next(it);
-    }
+      if (v.empty()) evict_scratch_.push_back(key);
+    });
+    for (std::uint64_t key : evict_scratch_) side.erase(key);
   };
   sweep(left_);
   sweep(right_);
@@ -140,8 +239,8 @@ void WindowJoinOperator::on_timer(SimTime now, RecordBatch& out) {
 
 std::size_t WindowJoinOperator::buffered() const {
   std::size_t n = 0;
-  for (const auto& [k, v] : left_) n += v.size();
-  for (const auto& [k, v] : right_) n += v.size();
+  left_.for_each([&](std::uint64_t, const std::vector<Record>& v) { n += v.size(); });
+  right_.for_each([&](std::uint64_t, const std::vector<Record>& v) { n += v.size(); });
   return n;
 }
 
@@ -163,10 +262,9 @@ void SlidingWindowAggregateOperator::process(int port, const RecordBatch& in,
   SAGE_CHECK_MSG(port == 0, "sliding window aggregate has a single input port");
   (void)out;
   for (const Record& r : in.records()) {
-    auto [it, inserted] = panes_.try_emplace(r.key);
-    auto& ring = it->second;
-    if (ring.empty()) ring.emplace_front();
-    Pane& pane = ring.front();
+    auto [ring, inserted] = panes_.find_or_insert(r.key);
+    if (ring->empty()) ring->emplace_front();
+    Pane& pane = ring->front();
     if (pane.count == 0) {
       pane.min = pane.max = r.value;
       pane.oldest_event = r.event_time;
@@ -182,8 +280,8 @@ void SlidingWindowAggregateOperator::process(int port, const RecordBatch& in,
 
 void SlidingWindowAggregateOperator::on_timer(SimTime now, RecordBatch& out) {
   (void)now;
-  for (auto it = panes_.begin(); it != panes_.end();) {
-    auto& ring = it->second;
+  evict_scratch_.clear();
+  panes_.for_each([&](std::uint64_t key, std::deque<Pane>& ring) {
     // Combine the live panes into the window aggregate.
     Pane combined;
     bool first = true;
@@ -202,7 +300,7 @@ void SlidingWindowAggregateOperator::on_timer(SimTime now, RecordBatch& out) {
     }
     if (combined.count > 0) {
       Record r;
-      r.key = it->first;
+      r.key = key;
       r.event_time = combined.oldest_event;
       r.wire_size = out_size_;
       switch (fn_) {
@@ -227,17 +325,14 @@ void SlidingWindowAggregateOperator::on_timer(SimTime now, RecordBatch& out) {
     // Slide: open the next pane, expire the oldest, drop idle keys.
     ring.emplace_front();
     while (ring.size() > panes_per_window_) ring.pop_back();
-    if (combined.count == 0) {
-      it = panes_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+    if (combined.count == 0) evict_scratch_.push_back(key);
+  });
+  for (std::uint64_t key : evict_scratch_) panes_.erase(key);
 }
 
 std::size_t SlidingWindowAggregateOperator::pane_count() const {
   std::size_t n = 0;
-  for (const auto& [key, ring] : panes_) n += ring.size();
+  panes_.for_each([&](std::uint64_t, const std::deque<Pane>& ring) { n += ring.size(); });
   return n;
 }
 
@@ -254,18 +349,21 @@ void TopKOperator::process(int port, const RecordBatch& in, RecordBatch& out) {
   SAGE_CHECK_MSG(port == 0, "top-k has a single input port");
   (void)out;
   for (const Record& r : in.records()) {
-    auto [it, inserted] = weights_.try_emplace(r.key);
-    KeyWeight& kw = it->second;
-    if (inserted || r.event_time < kw.oldest_event) kw.oldest_event = r.event_time;
-    kw.weight += sum_values_ ? r.value : 1.0;
+    auto [kw, inserted] = weights_.find_or_insert(r.key);
+    if (inserted || r.event_time < kw->oldest_event) kw->oldest_event = r.event_time;
+    kw->weight += sum_values_ ? r.value : 1.0;
   }
 }
 
 void TopKOperator::on_timer(SimTime now, RecordBatch& out) {
   (void)now;
   if (weights_.empty()) return;
-  std::vector<std::pair<std::uint64_t, KeyWeight>> entries(weights_.begin(),
-                                                           weights_.end());
+  sort_scratch_.clear();
+  sort_scratch_.reserve(weights_.size());
+  weights_.for_each([&](std::uint64_t key, const KeyWeight& kw) {
+    sort_scratch_.emplace_back(key, kw);
+  });
+  auto& entries = sort_scratch_;
   const auto cutoff =
       std::min(static_cast<std::size_t>(k_), entries.size());
   std::partial_sort(entries.begin(),
@@ -287,13 +385,8 @@ void TopKOperator::on_timer(SimTime now, RecordBatch& out) {
   weights_.clear();
 }
 
-std::shared_ptr<Operator> make_map(std::string name, MapOperator::Fn fn, double cost) {
-  return std::make_shared<MapOperator>(std::move(name), std::move(fn), cost);
-}
-
-std::shared_ptr<Operator> make_filter(std::string name, FilterOperator::Pred pred,
-                                      double cost) {
-  return std::make_shared<FilterOperator>(std::move(name), std::move(pred), cost);
+std::shared_ptr<Operator> make_fused(std::string name, std::vector<StatelessStage> stages) {
+  return std::make_shared<FusedStatelessChain>(std::move(name), std::move(stages));
 }
 
 std::shared_ptr<Operator> make_window_aggregate(std::string name, SimDuration window,

@@ -10,6 +10,21 @@
 // Each operator advertises a per-record CPU cost in abstract work units;
 // the site executor turns that into simulated processing time through the
 // host VM's (time-varying) compute throughput.
+//
+// Two hot-path mechanisms keep the data plane cheap:
+//
+//   * `process_batch` consumes the input batch by value. Stateless
+//     operators (map, filter, fused chains) override it to transform the
+//     batch in place — no intermediate RecordBatch is materialized and the
+//     input buffer flows through to the output.
+//   * Adjacent stateless vertices are collapsed by
+//     `JobGraph::fuse_stateless_chains()` into one `FusedStatelessChain`
+//     that runs every stage in a single pass over the batch. Operators
+//     advertise fusibility via `collect_stages`.
+//
+// Keyed state (window aggregates, joins, top-k) lives in open-addressing
+// `FlatMap`s (common/flat_map.hpp) so the per-record update path probes
+// flat arrays and window flushes iterate dense storage.
 #pragma once
 
 #include <cstdint>
@@ -18,11 +33,65 @@
 #include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
+#include <type_traits>
+#include <vector>
 
+#include "common/check.hpp"
+#include "common/flat_map.hpp"
 #include "stream/record.hpp"
 
 namespace sage::stream {
+
+using MapFn = std::function<Record(const Record&)>;
+using FilterPred = std::function<bool(const Record&)>;
+/// Whole-batch in-place transform (rewrite records / compact, maintaining
+/// the batch's wire-byte total).
+using BatchApplyFn = std::function<void(RecordBatch&)>;
+
+/// Wrap a per-record map into a whole-batch pass. Instantiated on the
+/// *concrete* callable type, so the record loop inlines the user lambda —
+/// one type-erased call per batch instead of one per record.
+template <class F>
+BatchApplyFn make_map_apply(F f) {
+  return [f = std::move(f)](RecordBatch& batch) {
+    Bytes total = Bytes::zero();
+    for (Record& r : batch.records()) {
+      r = f(r);
+      total += r.wire_size;
+    }
+    batch.set_wire_size(total);
+  };
+}
+
+/// Wrap a per-record predicate into a whole-batch in-place compaction.
+template <class F>
+BatchApplyFn make_filter_apply(F f) {
+  return [f = std::move(f)](RecordBatch& batch) {
+    auto& recs = batch.records();
+    std::size_t w = 0;
+    Bytes total = Bytes::zero();
+    for (const Record& r : recs) {
+      if (f(r)) {
+        recs[w++] = r;
+        total += r.wire_size;
+      }
+    }
+    recs.resize(w);
+    batch.set_wire_size(total);
+  };
+}
+
+/// One stage of a fused stateless chain: exactly one of `map` / `filter`
+/// is set (record-at-a-time semantics), and `apply` is the equivalent
+/// whole-batch pass the executor actually runs. `cost` is the stage's
+/// per-record CPU cost (the runtime models fused chains stage by stage, so
+/// fusion never changes simulated timing).
+struct StatelessStage {
+  MapFn map;
+  FilterPred filter;
+  BatchApplyFn apply;
+  double cost = 1.0;
+};
 
 class Operator {
  public:
@@ -30,6 +99,13 @@ class Operator {
 
   /// Transform one input batch into output records (appended to `out`).
   virtual void process(int port, const RecordBatch& in, RecordBatch& out) = 0;
+
+  /// Owning variant of `process`: the operator may consume `in` (steal its
+  /// buffer, transform in place). `out` must be empty. Default: delegate to
+  /// `process`, leaving `in` intact for the caller to recycle.
+  virtual void process_batch(int port, RecordBatch&& in, RecordBatch& out) {
+    process(port, in, out);
+  }
 
   /// Emit time-driven output (window closes). Default: none.
   virtual void on_timer(SimTime now, RecordBatch& out) {
@@ -43,6 +119,13 @@ class Operator {
   /// Abstract CPU work per input record.
   [[nodiscard]] virtual double cost_per_record() const { return 1.0; }
 
+  /// Append this operator's stateless stage(s) to `stages` and return true,
+  /// or return false when the operator is stateful (not fusible).
+  [[nodiscard]] virtual bool collect_stages(std::vector<StatelessStage>& stages) const {
+    (void)stages;
+    return false;
+  }
+
   [[nodiscard]] virtual std::string_view name() const = 0;
 };
 
@@ -52,32 +135,81 @@ class Operator {
 
 class MapOperator final : public Operator {
  public:
-  using Fn = std::function<Record(const Record&)>;
-  MapOperator(std::string name, Fn fn, double cost = 1.0);
+  using Fn = MapFn;
+  /// Templated on the concrete callable so the hot batch path
+  /// (`make_map_apply`) inlines it; `fn_` keeps a type-erased copy for the
+  /// record-at-a-time `process` path.
+  template <class F>
+    requires std::is_invocable_r_v<Record, const F&, const Record&>
+  MapOperator(std::string name, F fn, double cost = 1.0)
+      : name_(std::move(name)), fn_(fn), apply_(make_map_apply(std::move(fn))),
+        cost_(cost) {
+    SAGE_CHECK(cost_ > 0.0);
+  }
 
   void process(int port, const RecordBatch& in, RecordBatch& out) override;
+  void process_batch(int port, RecordBatch&& in, RecordBatch& out) override;
   [[nodiscard]] double cost_per_record() const override { return cost_; }
+  [[nodiscard]] bool collect_stages(std::vector<StatelessStage>& stages) const override;
   [[nodiscard]] std::string_view name() const override { return name_; }
 
  private:
   std::string name_;
   Fn fn_;
+  BatchApplyFn apply_;
   double cost_;
 };
 
 class FilterOperator final : public Operator {
  public:
-  using Pred = std::function<bool(const Record&)>;
-  FilterOperator(std::string name, Pred pred, double cost = 0.5);
+  using Pred = FilterPred;
+  template <class F>
+    requires std::is_invocable_r_v<bool, const F&, const Record&>
+  FilterOperator(std::string name, F pred, double cost = 0.5)
+      : name_(std::move(name)), pred_(pred), apply_(make_filter_apply(std::move(pred))),
+        cost_(cost) {
+    SAGE_CHECK(cost_ > 0.0);
+  }
 
   void process(int port, const RecordBatch& in, RecordBatch& out) override;
+  void process_batch(int port, RecordBatch&& in, RecordBatch& out) override;
   [[nodiscard]] double cost_per_record() const override { return cost_; }
+  [[nodiscard]] bool collect_stages(std::vector<StatelessStage>& stages) const override;
   [[nodiscard]] std::string_view name() const override { return name_; }
 
  private:
   std::string name_;
   Pred pred_;
+  BatchApplyFn apply_;
   double cost_;
+};
+
+/// A chain of stateless stages collapsed into one vertex: one pass over the
+/// batch, no intermediate materialization. The runtime executes stages
+/// individually (`stage_count` / `stage_cost` / `apply_stage`) so the
+/// simulated processing time — including the CPU factor sampled at each
+/// stage boundary — is identical to the unfused chain's.
+class FusedStatelessChain final : public Operator {
+ public:
+  FusedStatelessChain(std::string name, std::vector<StatelessStage> stages);
+
+  void process(int port, const RecordBatch& in, RecordBatch& out) override;
+  void process_batch(int port, RecordBatch&& in, RecordBatch& out) override;
+  /// Sum of stage costs — the chain's worst-case per-record work; the
+  /// runtime's stage-wise path uses the exact per-stage costs instead.
+  [[nodiscard]] double cost_per_record() const override;
+  [[nodiscard]] bool collect_stages(std::vector<StatelessStage>& stages) const override;
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  [[nodiscard]] std::size_t stage_count() const { return stages_.size(); }
+  [[nodiscard]] double stage_cost(std::size_t i) const { return stages_[i].cost; }
+  /// Apply stage `i` to `batch` in place (maps rewrite records, filters
+  /// compact), maintaining the batch's wire-byte accounting.
+  void apply_stage(std::size_t i, RecordBatch& batch) const;
+
+ private:
+  std::string name_;
+  std::vector<StatelessStage> stages_;
 };
 
 // ---------------------------------------------------------------------------
@@ -117,7 +249,7 @@ class WindowAggregateOperator final : public Operator {
   AggregateFn fn_;
   Bytes out_size_;
   double cost_;
-  std::unordered_map<std::uint64_t, KeyState> state_;
+  FlatMap<KeyState> state_;
 };
 
 // ---------------------------------------------------------------------------
@@ -150,8 +282,9 @@ class WindowJoinOperator final : public Operator {
   Combiner combiner_;
   Bytes out_size_;
   double cost_;
-  std::unordered_map<std::uint64_t, std::vector<Record>> left_;
-  std::unordered_map<std::uint64_t, std::vector<Record>> right_;
+  FlatMap<std::vector<Record>> left_;
+  FlatMap<std::vector<Record>> right_;
+  std::vector<std::uint64_t> evict_scratch_;
 };
 
 // ---------------------------------------------------------------------------
@@ -195,7 +328,8 @@ class SlidingWindowAggregateOperator final : public Operator {
   double cost_;
   std::size_t panes_per_window_;
   /// Per key: ring of the most recent panes (front = current).
-  std::unordered_map<std::uint64_t, std::deque<Pane>> panes_;
+  FlatMap<std::deque<Pane>> panes_;
+  std::vector<std::uint64_t> evict_scratch_;
 };
 
 // ---------------------------------------------------------------------------
@@ -205,6 +339,7 @@ class SlidingWindowAggregateOperator final : public Operator {
 /// Counts (or sums values) per key over a tumbling window and emits the K
 /// heaviest keys at each window close — the "trending items" primitive of
 /// the clickstream scenario. Output records carry the key and its weight.
+/// Ties break toward the smaller key, independent of arrival order.
 class TopKOperator final : public Operator {
  public:
   TopKOperator(std::string name, SimDuration window, int k, bool sum_values = false,
@@ -228,15 +363,26 @@ class TopKOperator final : public Operator {
   bool sum_values_;
   Bytes out_size_;
   double cost_;
-  std::unordered_map<std::uint64_t, KeyWeight> weights_;
+  FlatMap<KeyWeight> weights_;
+  std::vector<std::pair<std::uint64_t, KeyWeight>> sort_scratch_;
 };
 
-// Factory helpers.
-[[nodiscard]] std::shared_ptr<Operator> make_map(std::string name, MapOperator::Fn fn,
-                                                 double cost = 1.0);
-[[nodiscard]] std::shared_ptr<Operator> make_filter(std::string name,
-                                                    FilterOperator::Pred pred,
-                                                    double cost = 0.5);
+// Factory helpers. make_map / make_filter are templates so the concrete
+// callable type survives into the operator's batch-apply path (see
+// make_map_apply); passing a std::function still works, it just keeps the
+// extra indirection.
+template <class F>
+[[nodiscard]] std::shared_ptr<Operator> make_map(std::string name, F fn,
+                                                 double cost = 1.0) {
+  return std::make_shared<MapOperator>(std::move(name), std::move(fn), cost);
+}
+template <class F>
+[[nodiscard]] std::shared_ptr<Operator> make_filter(std::string name, F pred,
+                                                    double cost = 0.5) {
+  return std::make_shared<FilterOperator>(std::move(name), std::move(pred), cost);
+}
+[[nodiscard]] std::shared_ptr<Operator> make_fused(std::string name,
+                                                   std::vector<StatelessStage> stages);
 [[nodiscard]] std::shared_ptr<Operator> make_window_aggregate(
     std::string name, SimDuration window, AggregateFn fn,
     Bytes output_record_size = Bytes::of(64), double cost = 2.0);

@@ -37,16 +37,34 @@ class RecordBatch {
     records_.clear();
     bytes_ = Bytes::zero();
   }
+  void reserve(std::size_t n) { records_.reserve(n); }
   void append(const RecordBatch& other) {
+    records_.reserve(records_.size() + other.records_.size());
     records_.insert(records_.end(), other.records_.begin(), other.records_.end());
     bytes_ += other.bytes_;
+  }
+  /// Move-append: steals the other batch's buffer when this one is empty,
+  /// otherwise copies with a single reservation. `other` is left cleared.
+  void append(RecordBatch&& other) {
+    if (records_.empty()) {
+      records_.swap(other.records_);
+      bytes_ += other.bytes_;
+    } else {
+      append(static_cast<const RecordBatch&>(other));
+      other.records_.clear();
+    }
+    other.bytes_ = Bytes::zero();
   }
 
   [[nodiscard]] bool empty() const { return records_.empty(); }
   [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return records_.capacity(); }
   [[nodiscard]] Bytes wire_size() const { return bytes_; }
   [[nodiscard]] const std::vector<Record>& records() const { return records_; }
   [[nodiscard]] std::vector<Record>& records() { return records_; }
+  /// Replace the tracked wire-byte total after an in-place transform of
+  /// `records()` (operators maintain the sum while they rewrite the batch).
+  void set_wire_size(Bytes total) { bytes_ = total; }
 
  private:
   std::vector<Record> records_;

@@ -6,6 +6,12 @@
 
 namespace sage::stream {
 
+namespace {
+/// Free-list cap: enough to cover every vertex queue in the biggest figure
+/// topologies without letting a transient burst pin memory forever.
+constexpr std::size_t kMaxPooledBatches = 128;
+}  // namespace
+
 StreamRuntime::StreamRuntime(cloud::CloudProvider& provider, JobGraph graph,
                              TransferBackend& backend, RuntimeConfig config)
     : provider_(provider),
@@ -15,7 +21,13 @@ StreamRuntime::StreamRuntime(cloud::CloudProvider& provider, JobGraph graph,
       config_(config),
       rng_(config.seed) {
   graph_.validate();
+  if (config_.fuse_stateless_chains) graph_.fuse_stateless_chains();
   states_.resize(graph_.vertices().size());
+  for (const Vertex& v : graph_.vertices()) {
+    if (v.kind == VertexKind::kOperator) {
+      states_[v.id].fused = dynamic_cast<const FusedStatelessChain*>(v.op.get());
+    }
+  }
 }
 
 StreamRuntime::~StreamRuntime() {
@@ -43,9 +55,13 @@ void StreamRuntime::start() {
                v.op->timer_interval() > SimDuration::zero()) {
       st.timer = std::make_unique<sim::PeriodicTask>(
           engine_, v.op->timer_interval(), [this, id = v.id] {
-            RecordBatch out;
+            RecordBatch out = acquire_batch();
             graph_.vertex(id).op->on_timer(engine_.now(), out);
-            if (!out.empty()) dispatch_outputs(id, std::move(out));
+            if (!out.empty()) {
+              dispatch_outputs(id, std::move(out));
+            } else {
+              recycle(std::move(out));
+            }
           });
       st.timer->start();
     }
@@ -64,6 +80,24 @@ void StreamRuntime::start() {
         });
     b->flusher->start();
     geo_.push_back(std::move(b));
+  }
+
+  // Resolve the adjacency once: dispatch never scans the edge list or the
+  // batcher list again.
+  out_edges_.assign(graph_.vertices().size(), {});
+  for (const Edge& e : graph_.edges()) {
+    OutEdge oe;
+    oe.edge = e;
+    if (graph_.vertex(e.from).site != graph_.vertex(e.to).site) {
+      for (auto& b : geo_) {
+        if (b->edge.from == e.from && b->edge.to == e.to && b->edge.port == e.port) {
+          oe.geo = b.get();
+          break;
+        }
+      }
+      SAGE_CHECK_MSG(oe.geo != nullptr, "WAN edge without a geo-batcher");
+    }
+    out_edges_[e.from].push_back(oe);
   }
 }
 
@@ -98,6 +132,29 @@ std::size_t StreamRuntime::queue_depth(VertexId v) const {
   return n;
 }
 
+RecordBatch StreamRuntime::acquire_batch() {
+  if (pool_.empty()) return {};
+  RecordBatch b = std::move(pool_.back());
+  pool_.pop_back();
+  return b;
+}
+
+void StreamRuntime::recycle(RecordBatch&& batch) {
+  // Moved-from batches whose buffer was stolen have no capacity to keep.
+  if (batch.capacity() == 0 || pool_.size() >= kMaxPooledBatches) return;
+  batch.clear();
+  pool_.push_back(std::move(batch));
+}
+
+SimDuration StreamRuntime::compute_delay(cloud::Region site, double work_units) const {
+  const auto& vm = site_vms_[cloud::region_index(site)];
+  SAGE_CHECK(vm.has_value());
+  const double cpu = provider_.is_active(*vm) ? provider_.vm_cpu_factor(*vm) : 1.0;
+  const double spec_factor = cloud::vm_spec(config_.site_vm).compute_factor;
+  return SimDuration::seconds(
+      work_units / (config_.work_units_per_sec * spec_factor * std::max(cpu, 0.05)));
+}
+
 void StreamRuntime::emit_source(VertexId v) {
   if (!running_) return;
   const Vertex& vx = graph_.vertex(v);
@@ -108,7 +165,8 @@ void StreamRuntime::emit_source(VertexId v) {
   st.carry = owed - static_cast<double>(count);
   if (count <= 0) return;
 
-  RecordBatch batch;
+  RecordBatch batch = acquire_batch();
+  batch.reserve(static_cast<std::size_t>(count));
   for (std::int64_t i = 0; i < count; ++i) {
     Record r;
     r.event_time = engine_.now();
@@ -125,41 +183,41 @@ void StreamRuntime::emit_source(VertexId v) {
 }
 
 void StreamRuntime::dispatch_outputs(VertexId v, RecordBatch out) {
-  if (out.empty()) return;
-  const auto edges = graph_.out_edges(v);
-  if (edges.empty()) return;
-  // Fan-out copies to every downstream edge (broadcast semantics).
-  for (std::size_t i = 0; i < edges.size(); ++i) {
-    if (i + 1 == edges.size()) {
-      deliver(edges[i], std::move(out));
-      break;
-    }
-    deliver(edges[i], out);
-  }
-}
-
-void StreamRuntime::deliver(const Edge& edge, RecordBatch batch) {
-  const Vertex& from = graph_.vertex(edge.from);
-  const Vertex& to = graph_.vertex(edge.to);
-  if (from.site == to.site) {
-    enqueue(edge.to, edge.port, std::move(batch));
+  if (out.empty()) {
+    recycle(std::move(out));
     return;
   }
-  for (auto& b : geo_) {
-    if (b->edge.from == edge.from && b->edge.to == edge.to && b->edge.port == edge.port) {
-      if (b->pending.empty()) b->oldest = engine_.now();
-      b->pending.append(batch);
-      if (b->pending.wire_size() >= config_.geo_batch_max_bytes) flush_geo(*b);
-      return;
-    }
+  const auto& edges = out_edges_[v];
+  if (edges.empty()) {
+    recycle(std::move(out));
+    return;
   }
-  SAGE_CHECK_MSG(false, "WAN edge without a geo-batcher");
+  // Fan-out copies to every downstream edge but the last (broadcast
+  // semantics); the last delivery moves the batch itself.
+  for (std::size_t i = 0; i + 1 < edges.size(); ++i) {
+    RecordBatch copy = acquire_batch();
+    copy.append(out);
+    deliver(edges[i], std::move(copy));
+  }
+  deliver(edges.back(), std::move(out));
+}
+
+void StreamRuntime::deliver(const OutEdge& oe, RecordBatch batch) {
+  if (oe.geo == nullptr) {
+    enqueue(oe.edge.to, oe.edge.port, std::move(batch));
+    return;
+  }
+  GeoBatcher& b = *oe.geo;
+  if (b.pending.empty()) b.oldest = engine_.now();
+  b.pending.append(std::move(batch));
+  recycle(std::move(batch));
+  if (b.pending.wire_size() >= config_.geo_batch_max_bytes) flush_geo(b);
 }
 
 void StreamRuntime::flush_geo(GeoBatcher& b) {
   if (b.pending.empty()) return;
   b.backlog.push_back(std::move(b.pending));
-  b.pending.clear();
+  b.pending.clear();  // the moved-from batch keeps a stale byte count
   pump_geo(b);
 }
 
@@ -183,6 +241,7 @@ void StreamRuntime::pump_geo(GeoBatcher& b) {
                     enqueue(raw->edge.to, raw->edge.port, std::move(batch));
                   } else {
                     ++wan_.failures;
+                    recycle(std::move(batch));
                   }
                   raw->in_flight = false;
                   pump_geo(*raw);
@@ -190,7 +249,10 @@ void StreamRuntime::pump_geo(GeoBatcher& b) {
 }
 
 void StreamRuntime::enqueue(VertexId v, int port, RecordBatch batch) {
-  if (batch.empty()) return;
+  if (batch.empty()) {
+    recycle(std::move(batch));
+    return;
+  }
   const Vertex& vx = graph_.vertex(v);
   VertexState& st = states_[v];
 
@@ -201,6 +263,7 @@ void StreamRuntime::enqueue(VertexId v, int port, RecordBatch batch) {
     for (const Record& r : batch.records()) {
       st.sink.latency_ms.add((now - r.event_time).to_seconds() * 1e3);
     }
+    recycle(std::move(batch));
     return;
   }
 
@@ -219,22 +282,56 @@ void StreamRuntime::process_next(VertexId v) {
   PendingBatch work = std::move(st.queue.front());
   st.queue.pop_front();
 
+  if (st.fused != nullptr) {
+    // Stage-wise execution: each stage is charged exactly like the vertex
+    // it was fused from — same cost, same batch size at that point in the
+    // chain, CPU factor sampled at the same simulated instants — so the
+    // fused pipeline's timestamps match the unfused one's bit for bit.
+    run_fused_stage(v, std::move(work.batch), 0);
+    return;
+  }
+
   const Vertex& vx = graph_.vertex(v);
-  const auto vm = site_vms_[cloud::region_index(vx.site)];
-  SAGE_CHECK(vm.has_value());
-  const double cpu = provider_.is_active(*vm) ? provider_.vm_cpu_factor(*vm) : 1.0;
-  const double spec_factor = cloud::vm_spec(config_.site_vm).compute_factor;
-  const double work_units = static_cast<double>(work.batch.size()) * vx.op->cost_per_record();
-  const SimDuration delay = SimDuration::seconds(
-      work_units / (config_.work_units_per_sec * spec_factor * std::max(cpu, 0.05)));
+  const SimDuration delay = compute_delay(
+      vx.site, static_cast<double>(work.batch.size()) * vx.op->cost_per_record());
 
   auto alive = alive_;
   engine_.schedule_after(delay, [this, alive, v, work = std::move(work)]() mutable {
     if (!*alive || !running_) return;
     const Vertex& vx2 = graph_.vertex(v);
-    RecordBatch out;
-    vx2.op->process(work.port, work.batch, out);
-    if (!out.empty()) dispatch_outputs(v, std::move(out));
+    RecordBatch out = acquire_batch();
+    vx2.op->process_batch(work.port, std::move(work.batch), out);
+    recycle(std::move(work.batch));
+    if (!out.empty()) {
+      dispatch_outputs(v, std::move(out));
+    } else {
+      recycle(std::move(out));
+    }
+    process_next(v);
+  });
+}
+
+void StreamRuntime::run_fused_stage(VertexId v, RecordBatch batch, std::size_t stage) {
+  const Vertex& vx = graph_.vertex(v);
+  const FusedStatelessChain& chain = *states_[v].fused;
+  const SimDuration delay = compute_delay(
+      vx.site, static_cast<double>(batch.size()) * chain.stage_cost(stage));
+
+  auto alive = alive_;
+  engine_.schedule_after(delay, [this, alive, v, stage,
+                                 batch = std::move(batch)]() mutable {
+    if (!*alive || !running_) return;
+    const FusedStatelessChain& chain2 = *states_[v].fused;
+    chain2.apply_stage(stage, batch);
+    if (!batch.empty() && stage + 1 < chain2.stage_count()) {
+      run_fused_stage(v, std::move(batch), stage + 1);
+      return;
+    }
+    if (!batch.empty()) {
+      dispatch_outputs(v, std::move(batch));
+    } else {
+      recycle(std::move(batch));
+    }
     process_next(v);
   });
 }

@@ -12,6 +12,19 @@
 // transfer through the pluggable TransferBackend. Batching amortizes the
 // per-transfer setup and acknowledgement overhead that makes tiny wide-area
 // messages so expensive (the A-Brain small-file effect).
+//
+// Data-plane fast paths (see DESIGN.md "Streaming data plane"):
+//
+//   * Linear runs of same-site stateless operators are fused into single
+//     vertices at construction (JobGraph::fuse_stateless_chains). The
+//     executor still charges each stage's CPU cost separately — one
+//     simulated delay per stage, CPU factor sampled at every stage boundary
+//     — so fusion changes wall-clock speed, never simulated timing.
+//   * Batches move, never copy: operators consume their input via
+//     process_batch, the geo-batcher steals buffers, and drained batches
+//     return to a free-list pool instead of the allocator.
+//   * Per-vertex out-edge adjacency (with resolved geo-batcher pointers) is
+//     precomputed at start(), removing an O(edges) scan per dispatch.
 #pragma once
 
 #include <array>
@@ -39,6 +52,9 @@ struct RuntimeConfig {
   SimDuration geo_batch_max_delay = SimDuration::seconds(1);
   /// Seed for source randomness.
   std::uint64_t seed = 42;
+  /// Collapse adjacent same-site stateless operators into fused vertices.
+  /// Simulated results are unchanged; this is a wall-clock optimization.
+  bool fuse_stateless_chains = true;
 };
 
 struct SinkStats {
@@ -95,6 +111,9 @@ class StreamRuntime {
     SinkStats sink;  // kSink only
     std::unique_ptr<sim::PeriodicTask> timer;  // operator timers / sources
     double carry = 0.0;  // fractional records owed by a source
+    /// Cached downcast: non-null when this vertex runs a fused chain (the
+    /// executor walks its stages individually).
+    const FusedStatelessChain* fused = nullptr;
   };
 
   struct GeoBatcher {
@@ -106,13 +125,29 @@ class StreamRuntime {
     std::unique_ptr<sim::PeriodicTask> flusher;
   };
 
+  /// One resolved out-edge: local edges carry a null `geo`, WAN edges point
+  /// straight at their batcher.
+  struct OutEdge {
+    Edge edge;
+    GeoBatcher* geo = nullptr;
+  };
+
   void emit_source(VertexId v);
-  void deliver(const Edge& edge, RecordBatch batch);
+  void deliver(const OutEdge& oe, RecordBatch batch);
   void enqueue(VertexId v, int port, RecordBatch batch);
   void process_next(VertexId v);
+  void run_fused_stage(VertexId v, RecordBatch batch, std::size_t stage);
   void dispatch_outputs(VertexId v, RecordBatch out);
   void flush_geo(GeoBatcher& b);
   void pump_geo(GeoBatcher& b);
+
+  /// Simulated time to burn `work_units` on `site`'s VM right now.
+  [[nodiscard]] SimDuration compute_delay(cloud::Region site, double work_units) const;
+
+  /// Batch pool: drained batches park here and are handed back out with
+  /// their buffers intact, so the steady state allocates nothing.
+  [[nodiscard]] RecordBatch acquire_batch();
+  void recycle(RecordBatch&& batch);
 
   cloud::CloudProvider& provider_;
   sim::SimEngine& engine_;
@@ -123,6 +158,9 @@ class StreamRuntime {
 
   std::vector<VertexState> states_;
   std::vector<std::unique_ptr<GeoBatcher>> geo_;
+  /// Per-vertex resolved adjacency, built at start().
+  std::vector<std::vector<OutEdge>> out_edges_;
+  std::vector<RecordBatch> pool_;
   std::array<std::optional<cloud::VmId>, cloud::kRegionCount> site_vms_;
   WanStats wan_;
   bool running_ = false;

@@ -163,6 +163,108 @@ TEST(WindowJoinTest, TimerExpiresOldState) {
   EXPECT_TRUE(out.empty());
 }
 
+TEST(RecordBatchTest, MoveAppendStealsOrCopies) {
+  // Steal path: appending into an empty batch swaps buffers.
+  RecordBatch a;
+  a.add(make_record(1.0));
+  a.add(make_record(2.0));
+  const Record* old_data = a.records().data();
+  RecordBatch b;
+  b.append(std::move(a));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.wire_size(), Bytes::of(200));
+  EXPECT_EQ(b.records().data(), old_data);
+  EXPECT_TRUE(a.empty());
+  EXPECT_TRUE(a.wire_size().is_zero());
+
+  // Copy path: appending into a non-empty batch keeps the destination
+  // buffer and still clears the source.
+  RecordBatch c;
+  c.add(make_record(3.0));
+  c.append(std::move(b));
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.wire_size(), Bytes::of(300));
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(b.wire_size().is_zero());
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases: empty batches and timers that fire before any data.
+// ---------------------------------------------------------------------------
+
+TEST(OperatorEdgeCaseTest, EmptyInputBatchIsHarmless) {
+  const RecordBatch empty;
+  auto check = [&](const std::shared_ptr<Operator>& op) {
+    RecordBatch out;
+    op->process(0, empty, out);
+    EXPECT_TRUE(out.empty()) << op->name();
+    RecordBatch owned;
+    RecordBatch out2;
+    op->process_batch(0, std::move(owned), out2);
+    EXPECT_TRUE(out2.empty()) << op->name();
+  };
+  check(make_map("m", [](const Record& r) { return r; }));
+  check(make_filter("f", [](const Record&) { return true; }));
+  check(make_window_aggregate("w", SimDuration::seconds(1), AggregateFn::kSum));
+  check(make_window_join("j", SimDuration::seconds(1),
+                         [](double l, double r) { return l + r; }));
+  check(make_sliding_window_aggregate("s", SimDuration::seconds(4),
+                                      SimDuration::seconds(1), AggregateFn::kMax));
+  check(make_top_k("t", SimDuration::seconds(1), 3));
+  std::vector<StatelessStage> stages;
+  ASSERT_TRUE(make_map("m", [](const Record& r) { return r; })->collect_stages(stages));
+  check(make_fused("fused", std::move(stages)));
+}
+
+TEST(OperatorEdgeCaseTest, TimerBeforeAnyDataEmitsNothing) {
+  const SimTime later = SimTime::epoch() + SimDuration::seconds(30);
+  for (const auto& op :
+       {make_window_aggregate("w", SimDuration::seconds(1), AggregateFn::kSum),
+        make_window_join("j", SimDuration::seconds(1),
+                         [](double l, double r) { return l + r; }),
+        make_sliding_window_aggregate("s", SimDuration::seconds(4),
+                                      SimDuration::seconds(1), AggregateFn::kMin),
+        make_top_k("t", SimDuration::seconds(1), 3)}) {
+    RecordBatch out;
+    op->on_timer(later, out);
+    EXPECT_TRUE(out.empty()) << op->name();
+  }
+}
+
+TEST(TopKTest, TieBreaksTowardSmallerKeyRegardlessOfArrivalOrder) {
+  // Three keys with identical weights, fed in descending key order; k=2
+  // must still pick the two smallest keys.
+  TopKOperator op("top", SimDuration::seconds(10), /*k=*/2);
+  RecordBatch in;
+  for (std::uint64_t key : {9u, 5u, 2u}) {
+    in.add(make_record(1.0, key));
+    in.add(make_record(1.0, key));
+  }
+  RecordBatch none;
+  op.process(0, in, none);
+  EXPECT_TRUE(none.empty());
+  RecordBatch out;
+  op.on_timer(SimTime::epoch() + SimDuration::seconds(10), out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.records()[0].key, 2u);
+  EXPECT_EQ(out.records()[1].key, 5u);
+  EXPECT_DOUBLE_EQ(out.records()[0].value, 2.0);  // count of key 2
+
+  // Same weights arriving in ascending order give the identical result.
+  TopKOperator op2("top", SimDuration::seconds(10), /*k=*/2);
+  RecordBatch in2;
+  for (std::uint64_t key : {2u, 5u, 9u}) {
+    in2.add(make_record(1.0, key));
+    in2.add(make_record(1.0, key));
+  }
+  op2.process(0, in2, none);
+  RecordBatch out2;
+  op2.on_timer(SimTime::epoch() + SimDuration::seconds(10), out2);
+  ASSERT_EQ(out2.size(), 2u);
+  EXPECT_EQ(out2.records()[0].key, 2u);
+  EXPECT_EQ(out2.records()[1].key, 5u);
+}
+
 // ---------------------------------------------------------------------------
 // Graph construction and validation.
 // ---------------------------------------------------------------------------
