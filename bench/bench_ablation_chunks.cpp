@@ -53,11 +53,18 @@ Outcome run_one(Bytes chunk, std::uint64_t seed) {
   return out;
 }
 
-void run() {
+void run(BenchContext& ctx) {
+  const std::vector<double> chunk_grid =
+      ctx.smoke() ? std::vector<double>{256.0, 4096.0}
+                  : std::vector<double>{256.0, 1024.0, 4096.0, 16384.0, 65536.0};
+  const auto outcomes = ctx.sweep("chunks", chunk_grid, [](const double& kb) {
+    return run_one(Bytes::kib(kb), /*seed=*/37);
+  });
+
   TextTable t({"Chunk size", "Time s", "Retransmissions", "Hop failures", "Completed"});
-  for (double kb : {256.0, 1024.0, 4096.0, 16384.0, 65536.0}) {
-    const Outcome o = run_one(Bytes::kib(kb), /*seed=*/37);
-    t.add_row({to_string(Bytes::kib(kb)), TextTable::num(o.seconds, 0),
+  for (std::size_t i = 0; i < chunk_grid.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    t.add_row({to_string(Bytes::kib(chunk_grid[i])), TextTable::num(o.seconds, 0),
                std::to_string(o.retransmissions), std::to_string(o.hop_failures),
                o.ok ? "yes" : "NO"});
   }
@@ -74,9 +81,9 @@ void run() {
 }  // namespace
 }  // namespace sage::bench
 
-int main() {
-  sage::bench::print_header("Ablation C",
-                            "Chunk-size sweep with forwarder failure (1 GB, 3 lanes)");
-  sage::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  sage::bench::BenchContext ctx(argc, argv, "ablation_chunks", "Ablation C",
+                                "Chunk-size sweep with forwarder failure (1 GB, 3 lanes)");
+  sage::bench::run(ctx);
+  return ctx.finish();
 }

@@ -16,37 +16,23 @@ namespace {
 
 double measured_time(int vms) {
   World world(/*seed=*/7, /*stable=*/true);
-  auto& provider = *world.provider;
-  const auto src = provider.provision(cloud::Region::kNorthEU, cloud::VmSize::kSmall);
-  const auto dst = provider.provision(cloud::Region::kNorthUS, cloud::VmSize::kSmall);
-  std::vector<net::Lane> lanes = net::direct_lane(src.id, dst.id);
-  for (int i = 1; i < vms; ++i) {
-    lanes.push_back(net::Lane{{src.id, provider.provision(cloud::Region::kNorthEU,
-                                                          cloud::VmSize::kSmall).id,
-                               dst.id}});
-  }
+  const LaneFan fan = provision_fan(*world.provider, cloud::Region::kNorthEU,
+                                    cloud::Region::kNorthUS, vms);
   net::TransferConfig config;
   config.streams_per_hop = 1;
-  double seconds = 0.0;
-  bool done = false;
-  net::GeoTransfer transfer(provider, Bytes::gb(1), lanes, config,
-                            [&](const net::TransferResult& r) {
-                              seconds = r.elapsed().to_seconds();
-                              done = true;
-                            });
-  transfer.start();
-  world.run_until([&] { return done; }, SimDuration::days(2));
-  return seconds;
+  return run_transfer(world, Bytes::gb(1), fan.lanes, config).elapsed().to_seconds();
 }
 
-void run() {
-  constexpr int kMaxVms = 8;
-  std::array<double, kMaxVms> measured{};
-  for (int n = 1; n <= kMaxVms; ++n) measured[static_cast<std::size_t>(n - 1)] = measured_time(n);
+void run(BenchContext& ctx) {
+  const int max_vms = ctx.smoke() ? 3 : 8;
+  std::vector<int> vm_grid;
+  for (int n = 1; n <= max_vms; ++n) vm_grid.push_back(n);
+  const std::vector<double> measured =
+      ctx.sweep("gain", vm_grid, [](const int& n) { return measured_time(n); });
 
   print_note("Measured speedup (stable fabric):");
   TextTable m({"VMs", "Time s", "Speedup"});
-  for (int n = 1; n <= kMaxVms; ++n) {
+  for (int n = 1; n <= max_vms; ++n) {
     m.add_row({std::to_string(n),
                TextTable::num(measured[static_cast<std::size_t>(n - 1)], 0),
                TextTable::num(measured[0] / measured[static_cast<std::size_t>(n - 1)], 2)});
@@ -60,13 +46,13 @@ void run() {
   std::vector<std::pair<double, double>> rows;
   for (double gain = 0.1; gain < 0.95; gain += 0.1) {
     double err = 0.0;
-    for (int n = 2; n <= kMaxVms; ++n) {
+    for (int n = 2; n <= max_vms; ++n) {
       const double predicted =
           measured[0] / (1.0 + static_cast<double>(n - 1) * gain);
       const double actual = measured[static_cast<std::size_t>(n - 1)];
       err += std::abs(predicted - actual) / actual;
     }
-    err = err / (kMaxVms - 1) * 100.0;
+    err = err / (max_vms - 1) * 100.0;
     rows.emplace_back(gain, err);
     if (err < best_err) {
       best_err = err;
@@ -90,8 +76,9 @@ void run() {
 }  // namespace
 }  // namespace sage::bench
 
-int main() {
-  sage::bench::print_header("Ablation B", "Parallel-gain calibration against the fabric");
-  sage::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  sage::bench::BenchContext ctx(argc, argv, "ablation_gain", "Ablation B",
+                                "Parallel-gain calibration against the fabric");
+  sage::bench::run(ctx);
+  return ctx.finish();
 }

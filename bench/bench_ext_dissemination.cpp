@@ -22,15 +22,12 @@ const std::vector<cloud::Region> kTargets = {
     cloud::Region::kEastUS, cloud::Region::kWestUS};
 
 std::unique_ptr<core::SageEngine> deployed_engine(World& world) {
-  core::SageConfig config;
-  config.regions = kTargets;
-  config.regions.push_back(kSrc);
-  config.helpers_per_region = 3;
-  config.monitoring.probe_interval = SimDuration::minutes(1);
-  auto engine = std::make_unique<core::SageEngine>(*world.provider, config);
-  engine->deploy();
-  world.run_for(SimDuration::minutes(12));
-  return engine;
+  SageDeployOptions deploy;
+  deploy.regions = kTargets;
+  deploy.regions.push_back(kSrc);
+  deploy.helpers_per_region = 3;
+  deploy.warmup = SimDuration::minutes(12);
+  return deploy_sage(world, deploy);
 }
 
 struct Outcome {
@@ -80,29 +77,64 @@ Outcome run_unicast(Bytes size, std::uint64_t seed) {
   return out;
 }
 
-void run() {
-  // Show the tree the planner builds on a warmed map.
-  {
-    World world(/*seed=*/123);
-    auto engine = deployed_engine(world);
-    const auto tree =
-        sched::widest_tree(engine->monitoring().snapshot(), kSrc, kTargets);
-    print_note("Planned dissemination tree (warmed map):");
-    TextTable t({"Edge", "Estimated MB/s"});
-    for (const auto& e : tree.edges) {
-      t.add_row({std::string(cloud::region_code(e.from)) + " -> " +
-                     std::string(cloud::region_code(e.to)),
-                 TextTable::num(e.mbps, 2)});
+struct Cell {
+  enum class Kind { kPlan, kUnicast, kTree } kind = Kind::kPlan;
+  double mb = 0.0;
+};
+
+struct CellResult {
+  Outcome outcome;
+  std::vector<std::pair<std::string, std::string>> tree_rows;
+};
+
+CellResult run_cell(const Cell& c) {
+  CellResult out;
+  switch (c.kind) {
+    case Cell::Kind::kPlan: {
+      // Show the tree the planner builds on a warmed map.
+      World world(/*seed=*/123);
+      auto engine = deployed_engine(world);
+      const auto tree =
+          sched::widest_tree(engine->monitoring().snapshot(), kSrc, kTargets);
+      for (const auto& e : tree.edges) {
+        out.tree_rows.emplace_back(std::string(cloud::region_code(e.from)) + " -> " +
+                                       std::string(cloud::region_code(e.to)),
+                                   TextTable::num(e.mbps, 2));
+      }
+      break;
     }
-    print_table(t);
+    case Cell::Kind::kUnicast:
+      out.outcome = run_unicast(Bytes::mb(c.mb), /*seed=*/123);
+      break;
+    case Cell::Kind::kTree:
+      out.outcome = run_tree(Bytes::mb(c.mb), /*seed=*/123);
+      break;
   }
+  return out;
+}
+
+void run(BenchContext& ctx) {
+  const std::vector<double> sizes =
+      ctx.smoke() ? std::vector<double>{256.0} : std::vector<double>{256.0, 1024.0};
+  std::vector<Cell> grid;
+  grid.push_back({Cell::Kind::kPlan, 0.0});
+  for (double mb : sizes) {
+    grid.push_back({Cell::Kind::kUnicast, mb});
+    grid.push_back({Cell::Kind::kTree, mb});
+  }
+  const auto results = ctx.sweep("dissemination", grid, run_cell);
+
+  print_note("Planned dissemination tree (warmed map):");
+  TextTable plan({"Edge", "Estimated MB/s"});
+  for (const auto& [edge, mbps] : results[0].tree_rows) plan.add_row({edge, mbps});
+  print_table(plan);
 
   TextTable t({"Size", "Unicast last s", "Unicast median s", "Tree last s",
                "Tree median s", "Speedup (last)"});
-  for (double mb : {256.0, 1024.0}) {
-    const Bytes size = Bytes::mb(mb);
-    const Outcome uni = run_unicast(size, /*seed=*/123);
-    const Outcome tree = run_tree(size, /*seed=*/123);
+  for (std::size_t i = 1; i < grid.size(); i += 2) {
+    const Bytes size = Bytes::mb(grid[i].mb);
+    const Outcome& uni = results[i].outcome;
+    const Outcome& tree = results[i + 1].outcome;
     t.add_row({to_string(size), TextTable::num(uni.last_s, 0),
                TextTable::num(uni.median_s, 0), TextTable::num(tree.last_s, 0),
                TextTable::num(tree.median_s, 0),
@@ -120,9 +152,9 @@ void run() {
 }  // namespace
 }  // namespace sage::bench
 
-int main() {
-  sage::bench::print_header("Ext D",
-                            "Adaptive dissemination: widest tree vs parallel unicast");
-  sage::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  sage::bench::BenchContext ctx(argc, argv, "ext_dissemination", "Ext D",
+                                "Adaptive dissemination: widest tree vs parallel unicast");
+  sage::bench::run(ctx);
+  return ctx.finish();
 }

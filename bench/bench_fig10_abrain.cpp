@@ -49,40 +49,52 @@ SimDuration run_blob(const workload::MetaReduceParams& params, std::uint64_t see
 
 SimDuration run_sage(const workload::MetaReduceParams& params, std::uint64_t seed) {
   World world(seed);
-  core::SageConfig config;
-  config.regions = {cloud::Region::kNorthEU, cloud::Region::kWestEU,
+  SageDeployOptions deploy;
+  deploy.regions = {cloud::Region::kNorthEU, cloud::Region::kWestEU,
                     cloud::Region::kSouthUS, cloud::Region::kEastUS,
                     cloud::Region::kNorthUS};
-  config.agent_vm = cloud::VmSize::kXLarge;
-  config.gateways_per_region = 2;
-  config.helpers_per_region = 4;
-  config.monitoring.probe_interval = SimDuration::minutes(1);
-  core::SageEngine engine(*world.provider, config);
-  engine.deploy();
-  world.run_for(SimDuration::minutes(10));
-  return run_backend(engine, world, params);
+  deploy.agent_vm = cloud::VmSize::kXLarge;
+  deploy.gateways_per_region = 2;
+  auto engine = deploy_sage(world, deploy);
+  return run_backend(*engine, world, params);
 }
 
-void run() {
-  struct Scale {
-    const char* label;
-    Bytes file_size;
-    int files;
-  };
+struct Scale {
+  const char* label;
+  Bytes file_size;
+  int files;
+};
+
+struct Cell {
+  const Scale* scale = nullptr;
+  bool sage = false;
+};
+
+void run(BenchContext& ctx) {
   // The paper's small case verbatim; the larger scales keep the simulated
   // runtime tractable by shipping the same *bulk* through fewer, bigger
   // files (the transfer engines see identical byte volumes per site).
-  const Scale scales[] = {
+  static const Scale scales[] = {
       {"108 MB (3x1000x36 KB)", Bytes::kb(36), 1000},
       {"12 GB (3x100x40 MB)", Bytes::mb(40), 100},
       {"120 GB (3x100x400 MB)", Bytes::mb(400), 100},
   };
+  const std::size_t scale_count = ctx.smoke() ? 1 : 3;
+  std::vector<Cell> grid;
+  for (std::size_t s = 0; s < scale_count; ++s) {
+    grid.push_back({&scales[s], /*sage=*/false});
+    grid.push_back({&scales[s], /*sage=*/true});
+  }
+  const auto times = ctx.sweep("abrain", grid, [](const Cell& c) {
+    const auto params = scenario(c.scale->file_size, c.scale->files);
+    return c.sage ? run_sage(params, /*seed=*/10) : run_blob(params, /*seed=*/10);
+  });
+
   TextTable t({"Dataset", "AzureBlobs s", "SAGE s", "Blob/SAGE"});
-  for (const Scale& s : scales) {
-    const auto params = scenario(s.file_size, s.files);
-    const SimDuration blob = run_blob(params, /*seed=*/10);
-    const SimDuration sage_t = run_sage(params, /*seed=*/10);
-    t.add_row({s.label, TextTable::num(blob.to_seconds(), 0),
+  for (std::size_t i = 0; i < grid.size(); i += 2) {
+    const SimDuration blob = times[i];
+    const SimDuration sage_t = times[i + 1];
+    t.add_row({grid[i].scale->label, TextTable::num(blob.to_seconds(), 0),
                TextTable::num(sage_t.to_seconds(), 0), TextTable::num(blob / sage_t, 2)});
   }
   print_table(t);
@@ -97,9 +109,9 @@ void run() {
 }  // namespace
 }  // namespace sage::bench
 
-int main() {
-  sage::bench::print_header("Fig 10",
-                            "A-Brain meta-reduce staging: AzureBlobs vs SAGE, 3 sites");
-  sage::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  sage::bench::BenchContext ctx(argc, argv, "fig10_abrain", "Fig 10",
+                                "A-Brain meta-reduce staging: AzureBlobs vs SAGE, 3 sites");
+  sage::bench::run(ctx);
+  return ctx.finish();
 }

@@ -31,12 +31,10 @@ RunResult run_one(int sites, double rate) {
       cloud::Region::kEastUS,  cloud::Region::kSouthUS, cloud::Region::kWestUS};
   const cloud::Region hub = cloud::Region::kNorthUS;
 
-  core::SageConfig config;
-  config.regions.assign(all.begin(), all.begin() + std::max(sites, 2));
-  config.monitoring.probe_interval = SimDuration::minutes(1);
-  core::SageEngine engine(*world.provider, config);
-  engine.deploy();
-  world.run_for(SimDuration::minutes(10));
+  SageDeployOptions deploy;
+  deploy.regions.assign(all.begin(), all.begin() + std::max(sites, 2));
+  auto engine_ptr = deploy_sage(world, deploy);
+  core::SageEngine& engine = *engine_ptr;
 
   stream::JobGraph g;
   const auto window = g.add_operator(
@@ -81,15 +79,32 @@ RunResult run_one(int sites, double rate) {
   return out;
 }
 
-void run() {
+struct Cell {
+  int sites = 0;
+  double rate = 0.0;
+};
+
+void run(BenchContext& ctx) {
+  const std::vector<int> site_grid = ctx.smoke() ? std::vector<int>{1, 3}
+                                                 : std::vector<int>{1, 3, 6};
+  const std::vector<double> rate_grid =
+      ctx.smoke() ? std::vector<double>{1000.0, 4000.0}
+                  : std::vector<double>{1000.0, 4000.0, 16000.0};
+  std::vector<Cell> grid;
+  for (int sites : site_grid) {
+    for (double rate : rate_grid) grid.push_back({sites, rate});
+  }
+
+  const auto results = ctx.sweep(
+      "scaling", grid, [](const Cell& c) { return run_one(c.sites, c.rate); });
+
   TextTable t({"Sites", "Rate/site rec/s", "WAN volume", "p50 latency ms",
                "p95 latency ms"});
-  for (int sites : {1, 3, 6}) {
-    for (double rate : {1000.0, 4000.0, 16000.0}) {
-      const RunResult r = run_one(sites, rate);
-      t.add_row({std::to_string(sites), TextTable::num(rate, 0), to_string(r.wan_bytes),
-                 TextTable::num(r.p50_ms, 0), TextTable::num(r.p95_ms, 0)});
-    }
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const RunResult& r = results[i];
+    t.add_row({std::to_string(grid[i].sites), TextTable::num(grid[i].rate, 0),
+               to_string(r.wan_bytes), TextTable::num(r.p50_ms, 0),
+               TextTable::num(r.p95_ms, 0)});
   }
   print_table(t);
   print_note(
@@ -105,8 +120,9 @@ void run() {
 }  // namespace
 }  // namespace sage::bench
 
-int main() {
-  sage::bench::print_header("Fig 4", "Streaming scaling: latency/throughput vs rate and sites");
-  sage::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  sage::bench::BenchContext ctx(argc, argv, "fig4_stream_scaling", "Fig 4",
+                                "Streaming scaling: latency/throughput vs rate and sites");
+  sage::bench::run(ctx);
+  return ctx.finish();
 }

@@ -15,43 +15,42 @@ namespace {
 
 SimDuration run_one(double intrusiveness, int vms, std::uint64_t seed) {
   World world(seed);
-  auto& provider = *world.provider;
-  const auto src = provider.provision(cloud::Region::kNorthEU, cloud::VmSize::kSmall);
-  const auto dst = provider.provision(cloud::Region::kNorthUS, cloud::VmSize::kSmall);
-
-  std::vector<net::Lane> lanes = net::direct_lane(src.id, dst.id);
-  for (int i = 1; i < vms; ++i) {
-    const auto helper = provider.provision(cloud::Region::kNorthEU, cloud::VmSize::kSmall);
-    lanes.push_back(net::Lane{{src.id, helper.id, dst.id}});
-  }
+  const LaneFan fan = provision_fan(*world.provider, cloud::Region::kNorthEU,
+                                    cloud::Region::kNorthUS, vms);
 
   net::TransferConfig config;
   config.intrusiveness = intrusiveness;
   config.streams_per_hop = 2;
-
-  SimDuration elapsed;
-  bool done = false;
-  net::GeoTransfer transfer(provider, Bytes::gb(1), lanes, config,
-                            [&](const net::TransferResult& r) {
-                              elapsed = r.elapsed();
-                              done = true;
-                            });
-  transfer.start();
-  world.run_until([&] { return done; }, SimDuration::days(5));
-  return elapsed;
+  return run_transfer(world, Bytes::gb(1), fan.lanes, config, SimDuration::days(5))
+      .elapsed();
 }
 
-void run() {
+struct Cell {
+  double intr = 0.0;
+  int vms = 0;
+};
+
+void run(BenchContext& ctx) {
+  const std::vector<double> intr_grid =
+      ctx.smoke() ? std::vector<double>{0.05, 0.20}
+                  : std::vector<double>{0.05, 0.10, 0.20};
+  const int max_vms = ctx.smoke() ? 3 : 5;
+  std::vector<Cell> grid;
+  for (double intr : intr_grid) {
+    for (int vms = 1; vms <= max_vms; ++vms) grid.push_back({intr, vms});
+  }
+
+  const auto results = ctx.sweep(
+      "intrusiveness", grid, [](const Cell& c) { return run_one(c.intr, c.vms, 55); });
+
   TextTable t({"Intrusiveness", "VMs", "Transfer time s", "Speedup vs 1 VM"});
-  for (double intr : {0.05, 0.10, 0.20}) {
-    double base = 0.0;
-    for (int vms = 1; vms <= 5; ++vms) {
-      const SimDuration elapsed = run_one(intr, vms, 55);
-      if (vms == 1) base = elapsed.to_seconds();
-      t.add_row({TextTable::num(intr * 100.0, 0) + "%", std::to_string(vms),
-                 TextTable::num(elapsed.to_seconds(), 0),
-                 TextTable::num(base / elapsed.to_seconds(), 2)});
-    }
+  double base = 0.0;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const SimDuration elapsed = results[i];
+    if (grid[i].vms == 1) base = elapsed.to_seconds();
+    t.add_row({TextTable::num(grid[i].intr * 100.0, 0) + "%",
+               std::to_string(grid[i].vms), TextTable::num(elapsed.to_seconds(), 0),
+               TextTable::num(base / elapsed.to_seconds(), 2)});
   }
   print_table(t);
   print_note(
@@ -63,9 +62,10 @@ void run() {
 }  // namespace
 }  // namespace sage::bench
 
-int main() {
-  sage::bench::print_header(
-      "Fig 5", "Intrusiveness x sender VMs -> transfer time (1 GB, NEU -> NUS)");
-  sage::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  sage::bench::BenchContext ctx(
+      argc, argv, "fig5_intrusiveness", "Fig 5",
+      "Intrusiveness x sender VMs -> transfer time (1 GB, NEU -> NUS)");
+  sage::bench::run(ctx);
+  return ctx.finish();
 }

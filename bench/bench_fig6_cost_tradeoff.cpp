@@ -23,28 +23,16 @@ struct Outcome {
 Outcome run_one(int vms, std::uint64_t seed) {
   World world(seed);
   auto& provider = *world.provider;
-  const auto src = provider.provision(cloud::Region::kNorthEU, cloud::VmSize::kSmall);
-  const auto dst = provider.provision(cloud::Region::kNorthUS, cloud::VmSize::kSmall);
+  // Billing accrues with held time, so a snapshot at the (single) provision
+  // instant is zero regardless of how many VMs exist yet.
   const cloud::CostReport before = provider.cost_report();
-
-  std::vector<cloud::VmHandle> helpers;
-  std::vector<net::Lane> lanes = net::direct_lane(src.id, dst.id);
-  for (int i = 1; i < vms; ++i) {
-    helpers.push_back(provider.provision(cloud::Region::kNorthEU, cloud::VmSize::kSmall));
-    lanes.push_back(net::Lane{{src.id, helpers.back().id, dst.id}});
-  }
+  const LaneFan fan = provision_fan(provider, cloud::Region::kNorthEU,
+                                    cloud::Region::kNorthUS, vms);
 
   net::TransferConfig config;
   config.streams_per_hop = 1;  // isolate the node-count effect
   Outcome out;
-  bool done = false;
-  net::GeoTransfer transfer(provider, Bytes::gb(1), lanes, config,
-                            [&](const net::TransferResult& r) {
-                              out.time = r.elapsed();
-                              done = true;
-                            });
-  transfer.start();
-  world.run_until([&] { return done; }, SimDuration::days(2));
+  out.time = run_transfer(world, Bytes::gb(1), fan.lanes, config).elapsed();
 
   // Release everything at completion: the bill reflects exactly the
   // transfer's resource-holding.
@@ -53,7 +41,12 @@ Outcome run_one(int vms, std::uint64_t seed) {
   return out;
 }
 
-void run() {
+struct Cell {
+  int vms = 0;
+  std::uint64_t seed = 0;
+};
+
+void run(BenchContext& ctx) {
   // Model predictions for the same sweep.
   model::CostModel model(cloud::PricingModel{}, model::ModelParams{});
   model::TradeoffSolver solver(model);
@@ -68,18 +61,29 @@ void run() {
 
   // Measure each configuration across three seeds (cloud variability is
   // real; the bill curve's minimum should not be a one-seed artifact).
+  const int max_vms = ctx.smoke() ? 3 : 10;
+  const std::vector<std::uint64_t> seeds =
+      ctx.smoke() ? std::vector<std::uint64_t>{66} : std::vector<std::uint64_t>{66, 67, 68};
+  std::vector<Cell> grid;
+  for (int vms = 1; vms <= max_vms; ++vms) {
+    for (std::uint64_t seed : seeds) grid.push_back({vms, seed});
+  }
+  const auto runs =
+      ctx.sweep("tradeoff", grid, [](const Cell& c) { return run_one(c.vms, c.seed); });
+
   std::array<Outcome, 10> measured;
   int min_bill_vms = 1;
-  for (int vms = 1; vms <= 10; ++vms) {
+  for (int vms = 1; vms <= max_vms; ++vms) {
     double time_s = 0.0;
     double cost_usd = 0.0;
-    for (std::uint64_t seed : {66u, 67u, 68u}) {
-      const Outcome o = run_one(vms, seed);
-      time_s += o.time.to_seconds();
-      cost_usd += o.cost.to_usd();
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (grid[i].vms != vms) continue;
+      time_s += runs[i].time.to_seconds();
+      cost_usd += runs[i].cost.to_usd();
     }
+    const double n = static_cast<double>(seeds.size());
     measured[static_cast<std::size_t>(vms - 1)] =
-        Outcome{SimDuration::seconds(time_s / 3.0), Money::usd(cost_usd / 3.0)};
+        Outcome{SimDuration::seconds(time_s / n), Money::usd(cost_usd / n)};
     if (measured[static_cast<std::size_t>(vms - 1)].cost <
         measured[static_cast<std::size_t>(min_bill_vms - 1)].cost) {
       min_bill_vms = vms;
@@ -88,7 +92,7 @@ void run() {
 
   TextTable t({"VMs", "Measured time s", "Billed cost $", "Predicted time s",
                "Predicted cost $", ""});
-  for (int vms = 1; vms <= 10; ++vms) {
+  for (int vms = 1; vms <= max_vms; ++vms) {
     const Outcome& o = measured[static_cast<std::size_t>(vms - 1)];
     const auto& est = frontier[static_cast<std::size_t>(vms - 1)];
     std::string marker;
@@ -113,8 +117,9 @@ void run() {
 }  // namespace
 }  // namespace sage::bench
 
-int main() {
-  sage::bench::print_header("Fig 6", "Cost/time tradeoff vs VM count (1 GB, NEU -> NUS)");
-  sage::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  sage::bench::BenchContext ctx(argc, argv, "fig6_cost_tradeoff", "Fig 6",
+                                "Cost/time tradeoff vs VM count (1 GB, NEU -> NUS)");
+  sage::bench::run(ctx);
+  return ctx.finish();
 }

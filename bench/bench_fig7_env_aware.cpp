@@ -20,26 +20,10 @@ namespace {
 constexpr int kNodes = 4;
 
 SimDuration run_aware(World& world, cloud::Region src_r, cloud::Region dst_r, Bytes size) {
-  auto& provider = *world.provider;
-  const auto src = provider.provision(src_r, cloud::VmSize::kSmall);
-  const auto dst = provider.provision(dst_r, cloud::VmSize::kSmall);
-  std::vector<net::Lane> lanes = net::direct_lane(src.id, dst.id);
-  for (int i = 1; i < kNodes; ++i) {
-    lanes.push_back(net::Lane{{src.id, provider.provision(src_r, cloud::VmSize::kSmall).id,
-                               dst.id}});
-  }
+  const LaneFan fan = provision_fan(*world.provider, src_r, dst_r, kNodes);
   net::TransferConfig config;
   config.streams_per_hop = 1;
-  SimDuration elapsed;
-  bool done = false;
-  net::GeoTransfer transfer(provider, size, lanes, config,
-                            [&](const net::TransferResult& r) {
-                              elapsed = r.elapsed();
-                              done = true;
-                            });
-  transfer.start();
-  world.run_until([&] { return done; }, SimDuration::days(3));
-  return elapsed;
+  return run_transfer(world, size, fan.lanes, config, SimDuration::days(3)).elapsed();
 }
 
 SimDuration run_oblivious(World& world, cloud::Region src_r, cloud::Region dst_r,
@@ -51,27 +35,58 @@ SimDuration run_oblivious(World& world, cloud::Region src_r, cloud::Region dst_r
   return send_blocking(world, backend, src_r, dst_r, size).elapsed;
 }
 
-void run() {
-  struct Pair {
-    const char* label;
-    cloud::Region src;
-    cloud::Region dst;
-  };
-  const Pair pairs[] = {{"SUS->NUS (close)", cloud::Region::kSouthUS,
-                         cloud::Region::kNorthUS},
-                        {"NEU->NUS (far)", cloud::Region::kNorthEU,
-                         cloud::Region::kNorthUS}};
+struct Pair {
+  const char* label;
+  cloud::Region src;
+  cloud::Region dst;
+};
+
+struct Cell {
+  const Pair* pair = nullptr;
+  double gb = 0.0;
+  std::uint64_t seed = 0;
+  bool aware = false;
+};
+
+void run(BenchContext& ctx) {
+  static const Pair pairs[] = {{"SUS->NUS (close)", cloud::Region::kSouthUS,
+                                cloud::Region::kNorthUS},
+                               {"NEU->NUS (far)", cloud::Region::kNorthEU,
+                                cloud::Region::kNorthUS}};
+  const std::vector<double> sizes =
+      ctx.smoke() ? std::vector<double>{0.5} : std::vector<double>{0.5, 2.0, 8.0};
+  const std::vector<std::uint64_t> seeds =
+      ctx.smoke() ? std::vector<std::uint64_t>{21, 22}
+                  : std::vector<std::uint64_t>{21, 22, 23, 24, 25};
+
+  std::vector<Cell> grid;
+  for (const Pair& pair : pairs) {
+    for (double gb : sizes) {
+      for (std::uint64_t seed : seeds) {
+        grid.push_back({&pair, gb, seed, /*aware=*/true});
+        grid.push_back({&pair, gb, seed, /*aware=*/false});
+      }
+    }
+  }
+  const auto times = ctx.sweep("env_aware", grid, [](const Cell& c) {
+    World world(c.seed);
+    const SimDuration t = c.aware
+                              ? run_aware(world, c.pair->src, c.pair->dst, Bytes::gb(c.gb))
+                              : run_oblivious(world, c.pair->src, c.pair->dst,
+                                              Bytes::gb(c.gb));
+    return t.to_seconds();
+  });
+
   TextTable t({"Pair", "Size", "GEO-aware s (95% CI)", "Oblivious s (95% CI)",
                "Improvement %"});
+  std::size_t i = 0;
   for (const Pair& pair : pairs) {
-    for (double gb : {0.5, 2.0, 8.0}) {
+    for (double gb : sizes) {
       SampleSet aware;
       SampleSet oblivious;
-      for (std::uint64_t seed : {21u, 22u, 23u, 24u, 25u}) {
-        World wa(seed);
-        aware.add(run_aware(wa, pair.src, pair.dst, Bytes::gb(gb)).to_seconds());
-        World wo(seed);
-        oblivious.add(run_oblivious(wo, pair.src, pair.dst, Bytes::gb(gb)).to_seconds());
+      for (std::size_t s = 0; s < seeds.size(); ++s) {
+        aware.add(times[i++]);
+        oblivious.add(times[i++]);
       }
       const double gain =
           (oblivious.mean() - aware.mean()) / oblivious.mean() * 100.0;
@@ -96,9 +111,9 @@ void run() {
 }  // namespace
 }  // namespace sage::bench
 
-int main() {
-  sage::bench::print_header("Fig 7",
-                            "Environment-aware vs oblivious parallel transfers");
-  sage::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  sage::bench::BenchContext ctx(argc, argv, "fig7_env_aware", "Fig 7",
+                                "Environment-aware vs oblivious parallel transfers");
+  sage::bench::run(ctx);
+  return ctx.finish();
 }

@@ -28,40 +28,69 @@ SimDuration run_baseline(const std::function<std::unique_ptr<stream::TransferBac
 
 SimDuration run_sage(Bytes size, std::uint64_t seed) {
   World world(seed);
-  core::SageConfig config;
-  config.regions = {cloud::Region::kNorthEU, cloud::Region::kWestEU,
+  SageDeployOptions deploy;
+  deploy.regions = {cloud::Region::kNorthEU, cloud::Region::kWestEU,
                     cloud::Region::kEastUS, cloud::Region::kNorthUS};
-  config.monitoring.probe_interval = SimDuration::minutes(1);
-  core::SageEngine engine(*world.provider, config);
-  engine.deploy();
-  world.run_for(SimDuration::minutes(10));
-  return send_blocking(world, engine, kSrc, kDst, size).elapsed;
+  auto engine = deploy_sage(world, deploy);
+  return send_blocking(world, *engine, kSrc, kDst, size).elapsed;
 }
 
-void run() {
+enum class System { kBlob, kDirect, kGlobus, kSage };
+
+struct Cell {
+  double mb = 0.0;
+  System system = System::kBlob;
+};
+
+SimDuration run_cell(const Cell& c) {
+  const Bytes size = Bytes::mb(c.mb);
+  const std::uint64_t seed = 88;
+  switch (c.system) {
+    case System::kBlob:
+      return run_baseline(
+          [](baselines::GatewayPool& pool) {
+            return std::make_unique<baselines::BlobRelayBackend>(pool);
+          },
+          size, seed);
+    case System::kDirect:
+      return run_baseline(
+          [](baselines::GatewayPool& pool) {
+            net::TransferConfig config;
+            config.streams_per_hop = 1;
+            return std::make_unique<baselines::DirectBackend>(pool, config);
+          },
+          size, seed);
+    case System::kGlobus:
+      return run_baseline(
+          [](baselines::GatewayPool& pool) {
+            return std::make_unique<baselines::GlobusStaticBackend>(pool, 3);
+          },
+          size, seed);
+    case System::kSage: return run_sage(size, seed);
+  }
+  return SimDuration::zero();
+}
+
+void run(BenchContext& ctx) {
+  const std::vector<double> sizes = ctx.smoke()
+                                        ? std::vector<double>{64.0, 256.0}
+                                        : std::vector<double>{64.0, 256.0, 1024.0, 4096.0};
+  const System systems[] = {System::kBlob, System::kDirect, System::kGlobus,
+                            System::kSage};
+  std::vector<Cell> grid;
+  for (double mb : sizes) {
+    for (System system : systems) grid.push_back({mb, system});
+  }
+  const auto times = ctx.sweep("comparison", grid, run_cell);
+
   TextTable t({"Size", "BlobRelay s", "Direct s", "GlobusStatic s", "SAGE s",
                "Blob/SAGE", "Globus/SAGE"});
-  for (double mb : {64.0, 256.0, 1024.0, 4096.0}) {
-    const Bytes size = Bytes::mb(mb);
-    const std::uint64_t seed = 88;
-    const SimDuration blob = run_baseline(
-        [](baselines::GatewayPool& pool) {
-          return std::make_unique<baselines::BlobRelayBackend>(pool);
-        },
-        size, seed);
-    const SimDuration direct = run_baseline(
-        [](baselines::GatewayPool& pool) {
-          net::TransferConfig config;
-          config.streams_per_hop = 1;
-          return std::make_unique<baselines::DirectBackend>(pool, config);
-        },
-        size, seed);
-    const SimDuration globus = run_baseline(
-        [](baselines::GatewayPool& pool) {
-          return std::make_unique<baselines::GlobusStaticBackend>(pool, 3);
-        },
-        size, seed);
-    const SimDuration sage_t = run_sage(size, seed);
+  for (std::size_t i = 0; i < grid.size(); i += 4) {
+    const Bytes size = Bytes::mb(grid[i].mb);
+    const SimDuration blob = times[i];
+    const SimDuration direct = times[i + 1];
+    const SimDuration globus = times[i + 2];
+    const SimDuration sage_t = times[i + 3];
     t.add_row({to_string(size), TextTable::num(blob.to_seconds(), 0),
                TextTable::num(direct.to_seconds(), 0),
                TextTable::num(globus.to_seconds(), 0),
@@ -80,8 +109,9 @@ void run() {
 }  // namespace
 }  // namespace sage::bench
 
-int main() {
-  sage::bench::print_header("Fig 8", "Transfer time vs data size across systems (NEU -> NUS)");
-  sage::bench::run();
-  return 0;
+int main(int argc, char** argv) {
+  sage::bench::BenchContext ctx(argc, argv, "fig8_comparison", "Fig 8",
+                                "Transfer time vs data size across systems (NEU -> NUS)");
+  sage::bench::run(ctx);
+  return ctx.finish();
 }

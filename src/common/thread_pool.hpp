@@ -1,0 +1,72 @@
+// Fixed-size thread pool for world-level parallelism.
+//
+// The SimEngine stays single-threaded per world (determinism is a hard
+// requirement, DESIGN.md §7); what this pool parallelises is *scenarios* —
+// independent Worlds that share nothing. It is deliberately minimal: a
+// fixed set of workers draining one FIFO queue, no work stealing, no
+// resizing, no task priorities. Scheduling order therefore cannot affect
+// results as long as tasks are independent, which the harness layer
+// (src/harness/scenario.hpp) guarantees by seeding every task from its
+// index and collecting results into an index-ordered vector.
+//
+// Exception contract: a task that throws does not kill the worker; the
+// first exception (in completion order) is stashed and rethrown from the
+// next wait_idle() call. The harness layer adds per-task capture with
+// index-ordered rethrow on top.
+//
+// Nested submits are rejected: submit() from inside a worker of the same
+// pool throws std::logic_error. A fixed-size pool with a blocking
+// wait_idle() cannot safely run tasks that enqueue-and-wait on their own
+// pool (all workers could block waiting for queued work no one is free to
+// run); rejecting at submission makes the deadlock impossible instead of
+// merely unlikely.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sage {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns exactly `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task. Throws std::logic_error when called from one of this
+  /// pool's own workers (see header comment).
+  void submit(Task task);
+
+  /// Block until every submitted task has finished, then rethrow the first
+  /// stashed task exception, if any.
+  void wait_idle();
+
+  /// True when the calling thread is a worker of this pool.
+  [[nodiscard]] bool on_worker_thread() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<Task> queue_;
+  std::size_t in_flight_ = 0;  // queued + currently executing
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sage

@@ -1,0 +1,100 @@
+#include "harness/scenario.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace sage::harness {
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+int env_threads() {
+  if (const char* env = std::getenv("SAGE_BENCH_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) return static_cast<int>(v);
+    std::fprintf(stderr, "harness: ignoring invalid SAGE_BENCH_THREADS=%s\n", env);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ScenarioRunner::ScenarioRunner(int threads) : threads_(threads < 1 ? 1 : threads) {
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(static_cast<std::size_t>(threads_));
+}
+
+double ScenarioRunner::total_wall_ms() const {
+  double total = 0.0;
+  for (const SweepTiming& s : sweeps_) total += s.wall_ms;
+  return total;
+}
+
+std::string ScenarioRunner::json(const std::string& bench, bool smoke) const {
+  std::string out;
+  out += "{\n";
+  out += "  \"bench\": \"" + json_escape(bench) + "\",\n";
+  out += "  \"threads\": " + std::to_string(threads_) + ",\n";
+  out += std::string("  \"smoke\": ") + (smoke ? "true" : "false") + ",\n";
+  out += "  \"total_wall_ms\": " + num(total_wall_ms()) + ",\n";
+  out += "  \"sweeps\": [\n";
+  for (std::size_t i = 0; i < sweeps_.size(); ++i) {
+    const SweepTiming& s = sweeps_[i];
+    out += "    {\"name\": \"" + json_escape(s.name) + "\", \"wall_ms\": " +
+           num(s.wall_ms) + ", \"tasks\": [\n";
+    for (std::size_t j = 0; j < s.tasks.size(); ++j) {
+      const TaskTiming& t = s.tasks[j];
+      out += "      {\"index\": " + std::to_string(t.index) + ", \"label\": \"" +
+             json_escape(t.label) + "\", \"wall_ms\": " + num(t.wall_ms) + "}";
+      out += (j + 1 < s.tasks.size()) ? ",\n" : "\n";
+    }
+    out += "    ]}";
+    out += (i + 1 < sweeps_.size()) ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool ScenarioRunner::write_json(const std::string& path, const std::string& bench,
+                                bool smoke) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "harness: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::string body = json(bench, smoke);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace sage::harness

@@ -1,0 +1,140 @@
+// Deterministic parallel scenario execution.
+//
+// The experiment harness sweeps independent parameter grids — every grid
+// point builds its own World (engine + provider + RNG, nothing shared) and
+// runs it to completion. ScenarioRunner widens that across pool threads
+// while keeping the observable output bit-identical to the sequential run:
+//
+//   * tasks are described up front (seed and parameters live in the task
+//     value, exactly as the sequential code computed them — never derived
+//     from execution order, thread id, or wall clock);
+//   * results land in an index-ordered vector, so everything printed or
+//     aggregated afterwards sees the sequential order no matter how the
+//     pool interleaved execution;
+//   * with 1 thread the sweep runs inline on the caller — no pool, no
+//     synchronisation — restoring the pre-harness behaviour exactly.
+//
+// Thread count comes from SAGE_BENCH_THREADS (default: hardware
+// concurrency). Task exceptions are captured per slot and rethrown in
+// index order after the sweep drains, so a failing grid point reports the
+// same error the sequential loop would have hit first. Per-task wall-clock
+// is recorded and can be emitted as a machine-readable JSON record
+// (--json; see BENCH_PR3.json).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace sage::harness {
+
+/// Thread count for scenario sweeps: SAGE_BENCH_THREADS when set to a
+/// positive integer, otherwise std::thread::hardware_concurrency().
+int env_threads();
+
+struct TaskTiming {
+  std::size_t index = 0;
+  std::string label;
+  double wall_ms = 0.0;
+};
+
+struct SweepTiming {
+  std::string name;
+  double wall_ms = 0.0;  // caller-observed: submit to last-result
+  std::vector<TaskTiming> tasks;
+};
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(int threads = env_threads());
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Run `fn` over every task, in parallel when threads() > 1, and return
+  /// the results in task order. `label_fn(task)` names each grid point in
+  /// the timing record.
+  template <typename Task, typename Fn, typename LabelFn>
+  auto sweep(const std::string& name, const std::vector<Task>& tasks, Fn&& fn,
+             LabelFn&& label_fn)
+      -> std::vector<std::invoke_result_t<Fn&, const Task&>> {
+    using R = std::invoke_result_t<Fn&, const Task&>;
+    static_assert(std::is_default_constructible_v<R>,
+                  "sweep results are preallocated per slot");
+
+    const auto sweep_began = Clock::now();
+    SweepTiming timing;
+    timing.name = name;
+    timing.tasks.resize(tasks.size());
+    std::vector<R> results(tasks.size());
+    std::vector<std::exception_ptr> errors(tasks.size());
+
+    auto run_one = [&](std::size_t i) {
+      const auto began = Clock::now();
+      try {
+        results[i] = fn(tasks[i]);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+      TaskTiming& t = timing.tasks[i];
+      t.index = i;
+      t.label = label_fn(tasks[i]);
+      t.wall_ms = ms_since(began);
+    };
+
+    if (pool_) {
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        pool_->submit([&run_one, i] { run_one(i); });
+      }
+      pool_->wait_idle();
+    } else {
+      for (std::size_t i = 0; i < tasks.size(); ++i) run_one(i);
+    }
+
+    timing.wall_ms = ms_since(sweep_began);
+    sweeps_.push_back(std::move(timing));
+    for (std::size_t i = 0; i < errors.size(); ++i) {
+      if (errors[i]) std::rethrow_exception(errors[i]);
+    }
+    return results;
+  }
+
+  template <typename Task, typename Fn>
+  auto sweep(const std::string& name, const std::vector<Task>& tasks, Fn&& fn) {
+    return sweep(name, tasks, std::forward<Fn>(fn), [&](const Task& task) {
+      return name + "[" + std::to_string(index_of(tasks, task)) + "]";
+    });
+  }
+
+  [[nodiscard]] const std::vector<SweepTiming>& sweeps() const { return sweeps_; }
+  [[nodiscard]] double total_wall_ms() const;
+
+  /// Render the timing record ({bench, threads, sweeps:[{tasks:[...]}]}).
+  [[nodiscard]] std::string json(const std::string& bench, bool smoke) const;
+  /// Write json() to `path`; returns false (and keeps stdout untouched) on
+  /// I/O failure.
+  bool write_json(const std::string& path, const std::string& bench, bool smoke) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  static double ms_since(Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  }
+  template <typename Task>
+  static std::size_t index_of(const std::vector<Task>& tasks, const Task& task) {
+    return static_cast<std::size_t>(&task - tasks.data());
+  }
+
+  int threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // only when threads_ > 1
+  std::vector<SweepTiming> sweeps_;
+};
+
+}  // namespace sage::harness

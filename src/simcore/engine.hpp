@@ -76,6 +76,12 @@ class SimEngine {
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
   /// Heap entries, including lazily-dropped cancelled events.
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  /// Scheduled events that are still live — excludes cancelled husks the
+  /// heap drops lazily (cancel releases its slot immediately, so the live
+  /// count is exactly the allocated slots).
+  [[nodiscard]] std::size_t live_events() const {
+    return slots_.size() - free_slots_.size();
+  }
 
  private:
   friend class EventHandle;

@@ -1,0 +1,119 @@
+// The harness determinism claim, end to end: a sweep of real simulation
+// worlds (noisy topology, multi-lane GeoTransfers) must render the exact
+// same table — byte for byte — whether it ran on 1 thread or on 4. This is
+// the same property the CI smoke job checks on the full figure benches.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "harness/scenario.hpp"
+#include "net/transfer.hpp"
+#include "test_util.hpp"
+
+namespace sage {
+namespace {
+
+struct Cell {
+  int vms = 0;
+  std::uint64_t seed = 0;
+};
+
+double transfer_seconds(const Cell& cell) {
+  testing::NoisyWorld world(cell.seed);
+  auto& provider = *world.provider;
+  const auto src = provider.provision(cloud::Region::kNorthEU, cloud::VmSize::kSmall);
+  const auto dst = provider.provision(cloud::Region::kNorthUS, cloud::VmSize::kSmall);
+  std::vector<net::Lane> lanes = net::direct_lane(src.id, dst.id);
+  for (int i = 1; i < cell.vms; ++i) {
+    const auto helper = provider.provision(cloud::Region::kNorthEU, cloud::VmSize::kSmall);
+    lanes.push_back(net::Lane{{src.id, helper.id, dst.id}});
+  }
+  net::TransferConfig config;
+  config.streams_per_hop = 1;
+  double seconds = 0.0;
+  bool done = false;
+  net::GeoTransfer transfer(provider, Bytes::mb(64), lanes, config,
+                            [&](const net::TransferResult& r) {
+                              seconds = r.elapsed().to_seconds();
+                              done = true;
+                            });
+  transfer.start();
+  EXPECT_TRUE(testing::run_until(world.engine, [&] { return done; }));
+  return seconds;
+}
+
+std::string render_sweep(int threads) {
+  std::vector<Cell> grid;
+  for (int vms = 1; vms <= 3; ++vms) {
+    for (std::uint64_t seed : {11u, 12u}) grid.push_back({vms, seed});
+  }
+  harness::ScenarioRunner runner(threads);
+  const auto times = runner.sweep("transfers", grid, transfer_seconds);
+
+  TextTable t({"VMs", "Seed", "Time s"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    t.add_row({std::to_string(grid[i].vms), std::to_string(grid[i].seed),
+               TextTable::num(times[i], 3)});
+  }
+  return t.render();
+}
+
+TEST(HarnessDeterminism, TableIsByteIdenticalAcrossThreadCounts) {
+  const std::string one = render_sweep(1);
+  const std::string four = render_sweep(4);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, four);
+}
+
+TEST(HarnessDeterminism, RepeatedParallelRunsAreIdentical) {
+  EXPECT_EQ(render_sweep(4), render_sweep(4));
+}
+
+TEST(WorldRunUntil, ReportsPredicateReason) {
+  bench::World world(/*seed=*/5);
+  bool flag = false;
+  world.engine.schedule_after(SimDuration::seconds(10), [&] { flag = true; });
+  const bench::RunOutcome out = world.run_until([&] { return flag; });
+  EXPECT_TRUE(out);
+  EXPECT_EQ(out.reason, bench::RunStop::kPredicate);
+}
+
+TEST(WorldRunUntil, BailsOutIdleInsteadOfSteppingToBudget) {
+  bench::World world(/*seed=*/5);
+  world.engine.schedule_after(SimDuration::seconds(1), [] {});
+  // After the lone event fires nothing can ever satisfy the predicate; the
+  // call must stop right there, not grind virtual time to the 2-day budget.
+  const bench::RunOutcome out = world.run_until([] { return false; });
+  EXPECT_FALSE(out);
+  EXPECT_EQ(out.reason, bench::RunStop::kIdle);
+  EXPECT_LE(world.engine.now() - SimTime::epoch(), SimDuration::seconds(1));
+}
+
+TEST(WorldRunUntil, IdleBailIsImmediateOnEmptyWorld) {
+  bench::World world(/*seed=*/5);
+  const bench::RunOutcome out = world.run_until([] { return false; });
+  EXPECT_EQ(out.reason, bench::RunStop::kIdle);
+  EXPECT_EQ(world.engine.now(), SimTime::epoch());
+  // Repeated calls keep bailing immediately even though each left a
+  // cancelled sentinel husk in the heap (live_events ignores husks).
+  const bench::RunOutcome again = world.run_until([] { return false; });
+  EXPECT_EQ(again.reason, bench::RunStop::kIdle);
+  EXPECT_EQ(world.engine.now(), SimTime::epoch());
+}
+
+TEST(WorldRunUntil, ReportsBudgetReasonUnderPeriodicWork) {
+  bench::World world(/*seed=*/5);
+  sim::PeriodicTask probe(world.engine, SimDuration::minutes(1), [] {});
+  probe.start();
+  const bench::RunOutcome out =
+      world.run_until([] { return false; }, SimDuration::minutes(5));
+  EXPECT_FALSE(out.satisfied());
+  EXPECT_EQ(out.reason, bench::RunStop::kBudget);
+  EXPECT_EQ(world.engine.now() - SimTime::epoch(), SimDuration::minutes(5));
+}
+
+}  // namespace
+}  // namespace sage

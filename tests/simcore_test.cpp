@@ -114,6 +114,20 @@ TEST(SimEngineTest, CancelledEventsDropLazilyFromHeap) {
   EXPECT_TRUE(engine.empty());
 }
 
+TEST(SimEngineTest, LiveEventsExcludesCancelledHusks) {
+  SimEngine engine;
+  EventHandle a = engine.schedule_after(SimDuration::seconds(1), [] {});
+  EventHandle b = engine.schedule_after(SimDuration::seconds(2), [] {});
+  EXPECT_EQ(engine.live_events(), 2u);
+  a.cancel();
+  // The husk still sits in the heap but no longer counts as live work.
+  EXPECT_EQ(engine.pending_events(), 2u);
+  EXPECT_EQ(engine.live_events(), 1u);
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(engine.live_events(), 0u);
+  (void)b;
+}
+
 TEST(SimEngineTest, RunUntilStopsAtHorizon) {
   SimEngine engine;
   int fired = 0;
