@@ -27,6 +27,7 @@
 #include "core/sage.hpp"
 #include "harness/scenario.hpp"
 #include "net/transfer.hpp"
+#include "obs/obs.hpp"
 #include "simcore/engine.hpp"
 #include "stream/backend.hpp"
 
@@ -60,8 +61,22 @@ struct World {
   std::unique_ptr<cloud::CloudProvider> provider;
 
   explicit World(std::uint64_t seed, bool stable = false) {
+    // Observability must attach before any component binds metric cells —
+    // everything below the engine resolves its pointers at construction.
+    engine.enable_obs_from_env();
     provider = std::make_unique<cloud::CloudProvider>(
         engine, stable ? cloud::stable_topology() : cloud::default_topology(), seed);
+  }
+
+  ~World() {
+    if (engine.obs() == nullptr) return;
+    engine.publish_obs_metrics();
+    // Inside a harness sweep the task's aggregate registry collects every
+    // World's metrics; the merged snapshot rides the --json record. Never
+    // printed, so stdout stays byte-identical with obs on or off.
+    if (obs::MetricsRegistry* agg = harness::current_task_metrics()) {
+      agg->merge(engine.obs()->metrics());
+    }
   }
 
   void run_for(SimDuration d) { engine.run_until(engine.now() + d); }

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace sage::cloud {
 
@@ -12,9 +14,54 @@ Fabric::Fabric(sim::SimEngine& engine, Topology topology, std::uint64_t seed)
     : engine_(engine), topology_(topology), rng_(seed) {
   link_flows_.resize(kPairLinks);
   link_avail_.resize(kPairLinks, 0.0);
+  link_cap0_.resize(kPairLinks, 0.0);
   link_count_.resize(kPairLinks, 0);
   link_stamp_.resize(kPairLinks, 0);
   link_visit_.resize(kPairLinks, 0);
+  if (obs::Observability* o = engine_.obs()) {
+    auto& m = o->metrics();
+    obs_ = std::make_unique<ObsCells>();
+    obs_->settle_rounds = m.counter("fabric.settle.rounds");
+    obs_->settle_flows = m.counter("fabric.settle.flows");
+    obs_->flows_started = m.counter("fabric.flows.started");
+    obs_->flows_rejected = m.counter("fabric.flows.rejected");
+    obs_->flows_completed = m.counter("fabric.flows.completed");
+    obs_->flows_failed = m.counter("fabric.flows.failed");
+    obs_->flows_cancelled = m.counter("fabric.flows.cancelled");
+    obs_->flow_activations = m.counter("fabric.flows.activations");
+    obs_->bytes_offered = m.counter("fabric.bytes.offered");
+    obs_->bytes_moved = m.counter("fabric.bytes.moved");
+    obs_->bytes_forgiven = m.counter("fabric.bytes.forgiven");
+    obs_->bytes_aborted = m.counter("fabric.bytes.aborted");
+  }
+}
+
+namespace {
+
+std::string pair_label(std::size_t pair) {
+  const Region a = kAllRegions[pair / kRegionCount];
+  const Region b = kAllRegions[pair % kRegionCount];
+  return std::string(region_name(a)) + "->" + std::string(region_name(b));
+}
+
+}  // namespace
+
+obs::Counter* Fabric::link_bytes_cell(std::size_t pair) {
+  obs::Counter*& cell = obs_->link_bytes[pair];
+  if (cell == nullptr) {
+    cell = engine_.obs()->metrics().counter("fabric.link.bytes",
+                                            {{"link", pair_label(pair)}});
+  }
+  return cell;
+}
+
+obs::Gauge* Fabric::link_util_cell(std::size_t pair) {
+  obs::Gauge*& cell = obs_->link_util[pair];
+  if (cell == nullptr) {
+    cell = engine_.obs()->metrics().gauge("fabric.link.utilization",
+                                          {{"link", pair_label(pair)}});
+  }
+  return cell;
 }
 
 namespace {
@@ -131,6 +178,7 @@ FlowId Fabric::start_flow(NodeId src, NodeId dst, Bytes size, FlowOptions option
   const PairLinkSpec& spec = topology_.link(ra, rb);
 
   if (nodes_[src].failed || nodes_[dst].failed) {
+    if (obs_) obs_->flows_rejected->add();
     // Fail asynchronously so callers never re-enter from start_flow.
     const SimTime now = engine_.now();
     engine_.schedule_after(SimDuration::zero(), [on_done = std::move(on_done), id, now] {
@@ -164,6 +212,10 @@ FlowId Fabric::start_flow(NodeId src, NodeId dst, Bytes size, FlowOptions option
              kPairLinks + static_cast<std::size_t>(dst) * 2 + 1};
   flows_.emplace(id, std::move(f));
   ++pair_live_[pair_link(ra, rb)];
+  if (obs_) {
+    obs_->flows_started->add();
+    obs_->bytes_offered->add(static_cast<std::uint64_t>(size.count()));
+  }
 
   const SimDuration setup = spec.latency + options.extra_setup_latency;
   engine_.schedule_after(setup, [this, id] {
@@ -233,6 +285,7 @@ Bytes Fabric::flow_transferred(FlowId id) const {
 }
 
 void Fabric::activate_flow(Flow& f) {
+  if (obs_) obs_->flow_activations->add();
   f.active_index = static_cast<std::uint32_t>(active_flows_.size());
   active_flows_.push_back(&f);
   for (int k = 0; k < 3; ++k) {
@@ -316,6 +369,10 @@ void Fabric::advance_flows(std::vector<Flow*>& flows, FlowId complete_hint) {
     const Region ra = nodes_[f.src].region;
     const Region rb = nodes_[f.dst].region;
     if (ra != rb) egress_[region_index(ra)] += moved;
+    if (obs_) {
+      obs_->bytes_moved->add(static_cast<std::uint64_t>(moved.count()));
+      link_bytes_cell(f.links[1])->add(static_cast<std::uint64_t>(moved.count()));
+    }
     if (f.remaining.is_zero()) done.push_back(f.id);
   }
   if (complete_hint != 0) {
@@ -350,6 +407,25 @@ void Fabric::finish_flow(FlowId id, FlowOutcome outcome) {
   Flow f = std::move(it->second);
   flows_.erase(it);
   f.completion.cancel();
+  if (obs_) {
+    switch (outcome) {
+      case FlowOutcome::kCompleted:
+        obs_->flows_completed->add();
+        // A completed flow reports all offered bytes as transferred; the
+        // final sub-byte of integer rounding is forgiven, and the
+        // conservation invariant tracks it explicitly.
+        obs_->bytes_forgiven->add(static_cast<std::uint64_t>(f.remaining.count()));
+        break;
+      case FlowOutcome::kFailed:
+        obs_->flows_failed->add();
+        obs_->bytes_aborted->add(static_cast<std::uint64_t>(f.remaining.count()));
+        break;
+      case FlowOutcome::kCancelled:
+        obs_->flows_cancelled->add();
+        obs_->bytes_aborted->add(static_cast<std::uint64_t>(f.remaining.count()));
+        break;
+    }
+  }
   FlowResult result;
   result.id = id;
   result.outcome = outcome;
@@ -390,6 +466,11 @@ void Fabric::settle_flows(const std::vector<Flow*>& flows) {
       if (link_stamp_[l] != stamp_) {
         link_stamp_[l] = stamp_;
         link_avail_[l] = link_capacity_now(l).bytes_per_second();
+        // Capacity snapshot for the utilization gauges: link_capacity_now
+        // advances the link model's RNG, so it must not be queried a second
+        // time at the same timestamp (obs-on/off runs would diverge). Only
+        // region-pair links are gauged; node NIC links sit past kPairLinks.
+        if (obs_ && l < kPairLinks) link_cap0_[l] = link_avail_[l];
         link_count_[l] = 0;
         touched_links_.push_back(l);
       }
@@ -397,6 +478,10 @@ void Fabric::settle_flows(const std::vector<Flow*>& flows) {
     }
   }
   if (unsettled_.empty()) return;
+  if (obs_) {
+    obs_->settle_rounds->add();
+    obs_->settle_flows->add(unsettled_.size());
+  }
   // Bottleneck selection scans links in index order — deterministic across
   // platforms and standard libraries (ties no longer depend on hash order).
   std::sort(touched_links_.begin(), touched_links_.end());
@@ -452,6 +537,16 @@ void Fabric::settle_flows(const std::vector<Flow*>& flows) {
       }
     }
     unsettled_.swap(still_);
+  }
+
+  if (obs_) {
+    // Post-settlement utilization of every region-pair link this component
+    // touched: allocated / capacity-at-stamp-time.
+    for (std::size_t l : touched_links_) {
+      if (l >= kPairLinks || link_cap0_[l] <= 0.0) continue;
+      const double used = link_cap0_[l] - std::max(link_avail_[l], 0.0);
+      link_util_cell(l)->set(used / link_cap0_[l]);
+    }
   }
 
   // Reschedule completions at the new rates — but keep the queued event

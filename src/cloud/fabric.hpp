@@ -39,6 +39,11 @@
 #include "common/units.hpp"
 #include "simcore/engine.hpp"
 
+namespace sage::obs {
+class Counter;
+class Gauge;
+}  // namespace sage::obs
+
 namespace sage::cloud {
 
 using NodeId = std::uint32_t;
@@ -217,6 +222,29 @@ class Fabric {
   void ensure_refresh_running();
   ByteRate link_capacity_now(std::size_t link);
 
+  // Observability cells, resolved once in the constructor when the engine
+  // has obs enabled; `obs_` stays null otherwise and every instrumentation
+  // point is a single untaken branch. Per-pair-link byte counters and
+  // utilization gauges are created lazily (first traffic on the link).
+  struct ObsCells {
+    obs::Counter* settle_rounds = nullptr;
+    obs::Counter* settle_flows = nullptr;
+    obs::Counter* flows_started = nullptr;
+    obs::Counter* flows_rejected = nullptr;  // failed-endpoint async path
+    obs::Counter* flows_completed = nullptr;
+    obs::Counter* flows_failed = nullptr;
+    obs::Counter* flows_cancelled = nullptr;
+    obs::Counter* flow_activations = nullptr;
+    obs::Counter* bytes_offered = nullptr;
+    obs::Counter* bytes_moved = nullptr;
+    obs::Counter* bytes_forgiven = nullptr;  // sub-byte rounding at completion
+    obs::Counter* bytes_aborted = nullptr;   // remaining at failure/cancel
+    std::array<obs::Counter*, kPairLinks> link_bytes{};
+    std::array<obs::Gauge*, kPairLinks> link_util{};
+  };
+  obs::Counter* link_bytes_cell(std::size_t pair);
+  obs::Gauge* link_util_cell(std::size_t pair);
+
   sim::SimEngine& engine_;
   Topology topology_;
   Rng rng_;
@@ -245,6 +273,7 @@ class Fabric {
   std::vector<std::vector<Flow*>> link_flows_;  // active flows per link
   std::array<std::uint32_t, kPairLinks> pair_live_{};  // live flows per pair link
   std::vector<double> link_avail_;       // scratch: unallocated capacity
+  std::vector<double> link_cap0_;        // scratch: capacity at stamp time (obs only)
   std::vector<std::int32_t> link_count_; // scratch: unsettled flows on link
   std::vector<std::uint32_t> link_stamp_;
   std::vector<std::uint32_t> link_visit_;
@@ -252,6 +281,7 @@ class Fabric {
   std::uint32_t visit_epoch_ = 0;
 
   std::vector<Flow*> active_flows_;  // deterministic settlement order
+  std::unique_ptr<ObsCells> obs_;    // null when observability is off
 
   // Reused scratch (persistent capacity, no steady-state allocations).
   // These are only used inside settle_flows / collect_*, which run no user

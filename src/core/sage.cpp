@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace sage::core {
 
@@ -21,6 +22,7 @@ SageEngine::SageEngine(cloud::CloudProvider& provider, SageConfig config)
   // The engine's transfers obey the model's intrusiveness setting; keeping
   // the two knobs in sync is a class invariant, not a user obligation.
   config_.transfer.intrusiveness = config_.model.intrusiveness;
+  planner_.set_obs(engine_.obs());
   monitoring_ =
       std::make_unique<monitor::MonitoringService>(provider_, config_.monitoring);
 }
@@ -138,6 +140,12 @@ void SageEngine::send_with(const model::Tradeoff& tradeoff, cloud::Region src,
     const model::TransferEstimate estimate = solver_.resolve(inputs, tradeoff);
     record.estimate = estimate;
     plan = planner_.plan(matrix, src, dst, inventory(), estimate.nodes);
+    if (obs::Observability* o = engine_.obs(); o != nullptr && o->tracer() != nullptr) {
+      obs::TraceSink& t = *o->tracer();
+      t.instant(t.intern("sched.plan"), engine_.now(), obs::kNoSpan,
+                static_cast<double>(plan.paths.size()),
+                static_cast<double>(plan.nodes_used));
+    }
   }
   // Fallback: without monitoring data (cold start) SAGE degrades to a
   // direct transfer — never refuses to move data.
@@ -202,6 +210,12 @@ void SageEngine::adapt_transfer(LiveTransfer& live, cloud::Region src, cloud::Re
   const bool materially_better =
       fresh.total_mbps > live.plan.total_mbps * (1.0 + config_.replan_threshold);
   if (!materially_better) return;
+  if (obs::Observability* o = engine_.obs(); o != nullptr && o->tracer() != nullptr) {
+    obs::TraceSink& t = *o->tracer();
+    t.instant(t.intern("sched.replan"), engine_.now(), obs::kNoSpan,
+              static_cast<double>(fresh.paths.size()),
+              static_cast<double>(fresh.nodes_used));
+  }
   live.transfer->reset_lanes(build_lanes(fresh, live.src_gw, live.dst_gw, src));
   live.plan = fresh;
   ++history_[live.record_index].replans;

@@ -2,11 +2,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 namespace sage::harness {
 namespace {
+
+thread_local std::unique_ptr<obs::MetricsRegistry> g_task_metrics;
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -37,6 +42,21 @@ std::string num(double v) {
 }
 
 }  // namespace
+
+obs::MetricsRegistry* current_task_metrics() { return g_task_metrics.get(); }
+
+namespace detail {
+
+void begin_task_metrics() { g_task_metrics = std::make_unique<obs::MetricsRegistry>(); }
+
+std::string end_task_metrics() {
+  std::string out;
+  if (g_task_metrics && !g_task_metrics->empty()) out = g_task_metrics->snapshot_json();
+  g_task_metrics.reset();
+  return out;
+}
+
+}  // namespace detail
 
 int env_threads() {
   if (const char* env = std::getenv("SAGE_BENCH_THREADS")) {
@@ -74,7 +94,10 @@ std::string ScenarioRunner::json(const std::string& bench, bool smoke) const {
     for (std::size_t j = 0; j < s.tasks.size(); ++j) {
       const TaskTiming& t = s.tasks[j];
       out += "      {\"index\": " + std::to_string(t.index) + ", \"label\": \"" +
-             json_escape(t.label) + "\", \"wall_ms\": " + num(t.wall_ms) + "}";
+             json_escape(t.label) + "\", \"wall_ms\": " + num(t.wall_ms);
+      // Snapshots are already valid single-line JSON objects; embed raw.
+      if (!t.metrics_json.empty()) out += ", \"metrics\": " + t.metrics_json;
+      out += "}";
       out += (j + 1 < s.tasks.size()) ? ",\n" : "\n";
     }
     out += "    ]}";

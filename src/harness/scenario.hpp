@@ -33,16 +33,36 @@
 
 #include "common/thread_pool.hpp"
 
+namespace sage::obs {
+class MetricsRegistry;
+}  // namespace sage::obs
+
 namespace sage::harness {
 
 /// Thread count for scenario sweeps: SAGE_BENCH_THREADS when set to a
 /// positive integer, otherwise std::thread::hardware_concurrency().
 int env_threads();
 
+/// Registry collecting observability metrics for the grid point currently
+/// executing on this thread, or null outside a sweep task. Worlds merge
+/// their per-engine registries into it at teardown; the snapshot lands in
+/// the task's --json record. Never printed to stdout, so bench output stays
+/// byte-identical whether observability is on or off.
+obs::MetricsRegistry* current_task_metrics();
+
+namespace detail {
+/// Install a fresh per-task registry on the calling thread.
+void begin_task_metrics();
+/// Uninstall it; returns its JSON snapshot, or "" when nothing landed.
+std::string end_task_metrics();
+}  // namespace detail
+
 struct TaskTiming {
   std::size_t index = 0;
   std::string label;
   double wall_ms = 0.0;
+  /// Merged metric snapshot for this grid point ("" when obs was off).
+  std::string metrics_json;
 };
 
 struct SweepTiming {
@@ -77,6 +97,7 @@ class ScenarioRunner {
 
     auto run_one = [&](std::size_t i) {
       const auto began = Clock::now();
+      detail::begin_task_metrics();
       try {
         results[i] = fn(tasks[i]);
       } catch (...) {
@@ -85,6 +106,7 @@ class ScenarioRunner {
       TaskTiming& t = timing.tasks[i];
       t.index = i;
       t.label = label_fn(tasks[i]);
+      t.metrics_json = detail::end_task_metrics();
       t.wall_ms = ms_since(began);
     };
 

@@ -39,7 +39,29 @@ GeoTransfer::GeoTransfer(cloud::CloudProvider& provider, Bytes size, std::vector
                      hash_u64(static_cast<std::uint64_t>(hi - lo)));
   }
   stats_.chunks_total = static_cast<int>(n);
+  bind_obs();
   reset_lanes(std::move(lanes));
+}
+
+void GeoTransfer::bind_obs() {
+  obs::Observability* o = engine_.obs();
+  if (o == nullptr) return;
+  auto& m = o->metrics();
+  obs_started_ = m.counter("transfer.started");
+  obs_completed_ = m.counter("transfer.completed");
+  obs_failed_ = m.counter("transfer.failed");
+  obs_bytes_ = m.counter("transfer.bytes.delivered");
+  obs_chunks_ = m.counter("transfer.chunks.delivered");
+  obs_retransmissions_ = m.counter("transfer.retransmissions");
+  obs_duplicates_ = m.counter("transfer.duplicates_dropped");
+  obs_hop_failures_ = m.counter("transfer.hop_failures");
+  obs_throughput_ = m.histogram("transfer.throughput_mbps",
+                                {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000});
+  tracer_ = o->tracer();
+  if (tracer_ != nullptr) {
+    transfer_name_ = tracer_->intern("transfer");
+    chunk_name_ = tracer_->intern("transfer.chunk");
+  }
 }
 
 GeoTransfer::~GeoTransfer() { *alive_ = false; }
@@ -82,6 +104,13 @@ void GeoTransfer::start() {
   SAGE_CHECK_MSG(!running_ && !finished_, "start() is one-shot");
   running_ = true;
   started_ = engine_.now();
+  if (obs_started_ != nullptr) {
+    obs_started_->add();
+    if (tracer_ != nullptr) {
+      span_ = tracer_->begin(transfer_name_, started_, obs::kNoSpan,
+                             size_.to_mb(), static_cast<double>(lanes_.size()));
+    }
+  }
   for (int c = 0; c < stats_.chunks_total; ++c) pool_.push_back(c);
   pump();
 }
@@ -133,6 +162,9 @@ void GeoTransfer::pump() {
       if (cs.delivered) continue;  // stale retransmit entry
       ++cs.in_flight;
       ++lane->in_lane;
+      if (tracer_ != nullptr && cs.span == obs::kNoSpan) {
+        cs.span = tracer_->begin(chunk_name_, engine_.now(), span_, cs.size.to_mb());
+      }
       arm_timeout(chunk);
       send_hop(lane, chunk, 0);
       progress = true;
@@ -155,6 +187,7 @@ void GeoTransfer::send_hop(const std::shared_ptr<LaneState>& lane, int chunk,
   const cloud::VmId receiver = lane->lane.path[hop + 1];
   if (!provider_.is_active(sender) || !provider_.is_active(receiver)) {
     ++stats_.hop_failures;
+    if (obs_hop_failures_ != nullptr) obs_hop_failures_->add();
     --chunks_[static_cast<std::size_t>(chunk)].in_flight;
     --lane->in_lane;
     kill_lane(*lane);
@@ -175,6 +208,7 @@ void GeoTransfer::send_hop(const std::shared_ptr<LaneState>& lane, int chunk,
         ++lane->hops[hop].free_slots;
         if (!r.ok()) {
           ++stats_.hop_failures;
+          if (obs_hop_failures_ != nullptr) obs_hop_failures_->add();
           --chunks_[static_cast<std::size_t>(chunk)].in_flight;
           --lane->in_lane;
           if (!lane->retired) kill_lane(*lane);
@@ -216,6 +250,7 @@ void GeoTransfer::arm_timeout(int chunk) {
     const bool settled = config_.acknowledgements ? cs.acked : cs.delivered;
     if (settled) return;
     ++stats_.retransmissions;
+    if (obs_retransmissions_ != nullptr) obs_retransmissions_->add();
     requeue(chunk, /*count_attempt=*/true);
     pump();
   });
@@ -229,12 +264,20 @@ void GeoTransfer::on_delivered(LaneState& lane, int chunk) {
     // A retransmitted copy raced the original and lost: receiver dedup by
     // chunk hash drops it.
     ++stats_.duplicates_dropped;
+    if (obs_duplicates_ != nullptr) obs_duplicates_->add();
     return;
   }
   cs.delivered = true;
   ++stats_.chunks_delivered;
   delivered_bytes_ += cs.size;
   lane.bytes_delivered += cs.size;
+  if (obs_chunks_ != nullptr) {
+    obs_chunks_->add();
+    obs_bytes_->add(static_cast<std::uint64_t>(cs.size.count()));
+    if (tracer_ != nullptr && cs.span != obs::kNoSpan) {
+      tracer_->end(cs.span, engine_.now());
+    }
+  }
 
   if (!config_.acknowledgements) {
     ++completed_;
@@ -312,6 +355,16 @@ void GeoTransfer::finish(bool ok) {
   result.started = started_;
   result.finished = engine_.now();
   result.stats = stats_;
+  if (obs_completed_ != nullptr) {
+    (ok ? obs_completed_ : obs_failed_)->add();
+    if (ok && result.elapsed() > SimDuration::zero()) {
+      obs_throughput_->observe(result.throughput().bytes_per_second() / 1e6);
+    }
+    if (tracer_ != nullptr && span_ != obs::kNoSpan) {
+      tracer_->end(span_, result.finished, /*a=*/0.0,
+                   /*b=*/static_cast<double>(stats_.retransmissions));
+    }
+  }
   on_done_(result);
 }
 

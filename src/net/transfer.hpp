@@ -34,6 +34,7 @@
 
 #include "cloud/provider.hpp"
 #include "common/units.hpp"
+#include "obs/obs.hpp"
 
 namespace sage::net {
 
@@ -144,6 +145,7 @@ class GeoTransfer {
     bool acked = false;
     int attempts = 0;
     int in_flight = 0;  // concurrent copies (original + retransmits)
+    obs::SpanId span = obs::kNoSpan;  // open from first admission to delivery
   };
 
   void pump();
@@ -158,6 +160,7 @@ class GeoTransfer {
   void finish(bool ok);
   [[nodiscard]] SimDuration chunk_timeout() const;
   [[nodiscard]] cloud::FlowOptions hop_flow_options(cloud::VmId sender) const;
+  void bind_obs();
 
   cloud::CloudProvider& provider_;
   sim::SimEngine& engine_;
@@ -177,6 +180,21 @@ class GeoTransfer {
   bool finished_ = false;
   int completed_ = 0;  // chunks acked (or delivered, when acks are off)
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  // Observability (all null/zero when the engine has obs disabled).
+  obs::TraceSink* tracer_ = nullptr;
+  obs::Counter* obs_started_ = nullptr;
+  obs::Counter* obs_completed_ = nullptr;
+  obs::Counter* obs_failed_ = nullptr;
+  obs::Counter* obs_bytes_ = nullptr;
+  obs::Counter* obs_chunks_ = nullptr;
+  obs::Counter* obs_retransmissions_ = nullptr;
+  obs::Counter* obs_duplicates_ = nullptr;
+  obs::Counter* obs_hop_failures_ = nullptr;
+  obs::Histogram* obs_throughput_ = nullptr;
+  obs::SpanId span_ = obs::kNoSpan;
+  std::uint32_t transfer_name_ = 0;  // interned span names
+  std::uint32_t chunk_name_ = 0;
 };
 
 /// Convenience: single-lane direct transfer src -> dst.

@@ -41,6 +41,20 @@ TreeTransfer::TreeTransfer(cloud::CloudProvider& provider, Bytes size,
     edge.free_slots = config_.streams_per_hop;
     edges_.push_back(std::move(edge));
   }
+
+  if (obs::Observability* o = engine_.obs()) {
+    auto& m = o->metrics();
+    obs_started_ = m.counter("tree_transfer.started");
+    obs_completed_ = m.counter("tree_transfer.completed");
+    obs_failed_ = m.counter("tree_transfer.failed");
+    obs_edge_failures_ = m.counter("tree_transfer.edge_failures");
+    obs_bytes_ = m.counter("tree_transfer.bytes.delivered");
+    tracer_ = o->tracer();
+    if (tracer_ != nullptr) {
+      tree_name_ = tracer_->intern("tree_transfer");
+      node_name_ = tracer_->intern("tree_transfer.node_complete");
+    }
+  }
 }
 
 TreeTransfer::~TreeTransfer() { *alive_ = false; }
@@ -49,6 +63,13 @@ void TreeTransfer::start() {
   SAGE_CHECK_MSG(!running_ && !finished_, "start() is one-shot");
   running_ = true;
   started_ = engine_.now();
+  if (obs_started_ != nullptr) {
+    obs_started_->add();
+    if (tracer_ != nullptr) {
+      span_ = tracer_->begin(tree_name_, started_, obs::kNoSpan, size_.to_mb(),
+                             static_cast<double>(tree_.size()));
+    }
+  }
   // The root owns every chunk; every root-child edge may begin immediately.
   std::fill(has_chunk_[0].begin(), has_chunk_[0].end(), true);
   received_[0] = static_cast<int>(chunk_sizes_.size());
@@ -84,6 +105,7 @@ void TreeTransfer::pump(std::size_t edge_idx) {
     }
     if (!provider_.is_active(parent_vm) || !provider_.is_active(child_vm)) {
       ++edge_failures_;
+      if (obs_edge_failures_ != nullptr) obs_edge_failures_->add();
       finish(false);
       return;
     }
@@ -105,6 +127,7 @@ void TreeTransfer::pump(std::size_t edge_idx) {
           ++e.free_slots;
           if (!r.ok()) {
             ++edge_failures_;
+            if (obs_edge_failures_ != nullptr) obs_edge_failures_->add();
             if (++e.attempts >= config_.max_attempts) {
               finish(false);
               return;
@@ -124,6 +147,10 @@ void TreeTransfer::on_arrival(int node, int chunk) {
   if (flags[static_cast<std::size_t>(chunk)]) return;  // dedup
   flags[static_cast<std::size_t>(chunk)] = true;
   ++received_[static_cast<std::size_t>(node)];
+  if (obs_bytes_ != nullptr) {
+    obs_bytes_->add(
+        static_cast<std::uint64_t>(chunk_sizes_[static_cast<std::size_t>(chunk)].count()));
+  }
 
   // Cut-through: hand the fresh chunk to each of this node's child edges.
   for (std::size_t e = 0; e < edges_.size(); ++e) {
@@ -136,6 +163,9 @@ void TreeTransfer::on_arrival(int node, int chunk) {
   if (received_[static_cast<std::size_t>(node)] ==
       static_cast<int>(chunk_sizes_.size())) {
     completion_[static_cast<std::size_t>(node)] = engine_.now() - started_;
+    if (tracer_ != nullptr && span_ != obs::kNoSpan) {
+      tracer_->instant(node_name_, engine_.now(), span_, static_cast<double>(node));
+    }
     if (++nodes_complete_ == static_cast<int>(tree_.size())) finish(true);
   }
 
@@ -165,6 +195,12 @@ void TreeTransfer::finish(bool ok) {
   result.finished = engine_.now();
   result.node_completion = completion_;
   result.edge_failures = edge_failures_;
+  if (obs_completed_ != nullptr) {
+    (ok ? obs_completed_ : obs_failed_)->add();
+    if (tracer_ != nullptr && span_ != obs::kNoSpan) {
+      tracer_->end(span_, result.finished);
+    }
+  }
   on_done_(result);
 }
 

@@ -92,6 +92,17 @@ class TreeTransfer {
   bool running_ = false;
   bool finished_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  // Observability (null/zero when the engine has obs disabled).
+  obs::TraceSink* tracer_ = nullptr;
+  obs::Counter* obs_started_ = nullptr;
+  obs::Counter* obs_completed_ = nullptr;
+  obs::Counter* obs_failed_ = nullptr;
+  obs::Counter* obs_edge_failures_ = nullptr;
+  obs::Counter* obs_bytes_ = nullptr;  // bytes landed across all tree nodes
+  obs::SpanId span_ = obs::kNoSpan;
+  std::uint32_t tree_name_ = 0;
+  std::uint32_t node_name_ = 0;
 };
 
 }  // namespace sage::net

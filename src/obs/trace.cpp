@@ -1,0 +1,109 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace sage::obs {
+
+TraceSink::TraceSink(std::size_t capacity) {
+  SAGE_CHECK(capacity > 0);
+  ring_.resize(capacity);
+  names_.emplace_back("?");  // index 0: never handed out by intern()
+}
+
+std::uint32_t TraceSink::intern(std::string_view name) {
+  for (std::size_t i = 1; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  names_.emplace_back(name);
+  return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+SpanId TraceSink::begin(std::uint32_t name, SimTime at, SpanId parent, double a,
+                        double b) {
+  const SpanId id = next_id_++;
+  Span& s = ring_[(id - 1) % ring_.size()];
+  s = Span{};
+  s.id = id;
+  s.parent = parent;
+  s.name = name;
+  s.begin = at;
+  s.end = at;
+  s.a = a;
+  s.b = b;
+  return id;
+}
+
+void TraceSink::end(SpanId id, SimTime at, double a, double b) {
+  Span* s = find(id);
+  if (s == nullptr) return;  // already overwritten by the ring
+  s->end = at;
+  s->closed = true;
+  if (a != 0.0) s->a = a;
+  if (b != 0.0) s->b = b;
+}
+
+SpanId TraceSink::instant(std::uint32_t name, SimTime at, SpanId parent, double a,
+                          double b) {
+  const SpanId id = begin(name, at, parent, a, b);
+  Span& s = ring_[(id - 1) % ring_.size()];
+  s.closed = true;
+  s.instant = true;
+  return id;
+}
+
+Span* TraceSink::find(SpanId id) {
+  if (id == kNoSpan || id >= next_id_) return nullptr;
+  Span& s = ring_[(id - 1) % ring_.size()];
+  return s.id == id ? &s : nullptr;
+}
+
+const Span* TraceSink::find(SpanId id) const {
+  return const_cast<TraceSink*>(this)->find(id);
+}
+
+std::vector<Span> TraceSink::spans() const {
+  std::vector<Span> out;
+  for (const Span& s : ring_) {
+    if (s.id != kNoSpan) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Span& x, const Span& y) { return x.id < y.id; });
+  return out;
+}
+
+std::string TraceSink::serialize() const {
+  const std::vector<Span> ordered = spans();
+  std::string out;
+  char buf[160];
+  for (const Span& s : ordered) {
+    int depth = 0;
+    for (const Span* p = find(s.parent); p != nullptr && depth < 32;
+         p = find(p->parent)) {
+      ++depth;
+    }
+    for (int i = 0; i < depth; ++i) out += "  ";
+    if (s.instant) {
+      std::snprintf(buf, sizeof(buf), "@ %s t=%.6f", names_[s.name].c_str(),
+                    s.begin.to_seconds());
+    } else if (s.closed) {
+      std::snprintf(buf, sizeof(buf), "- %s t=%.6f dur=%.6f",
+                    names_[s.name].c_str(), s.begin.to_seconds(),
+                    (s.end - s.begin).to_seconds());
+    } else {
+      std::snprintf(buf, sizeof(buf), "- %s t=%.6f open", names_[s.name].c_str(),
+                    s.begin.to_seconds());
+    }
+    out += buf;
+    if (s.a != 0.0 || s.b != 0.0) {
+      std::snprintf(buf, sizeof(buf), " a=%g b=%g", s.a, s.b);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sage::obs

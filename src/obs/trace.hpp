@@ -1,0 +1,80 @@
+// Sim-time span tracer. A span is a named interval of simulated time with an
+// optional parent; the sink stores spans in a fixed-capacity ring so a
+// long-running world traces at O(1) memory — once the ring wraps, the oldest
+// spans are overwritten and counted as dropped.
+//
+// Determinism contract: span ids are assigned in begin() order, timestamps
+// are simulated time, and serialize() renders spans in id order — so the
+// serialized trace of a fixed-seed run is byte-identical across hosts and
+// harness thread counts, which is what the golden-trace test pins down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace sage::obs {
+
+/// 1-based span identity; 0 means "no span" (used for roots and as the
+/// return value when tracing is disabled at a call site).
+using SpanId = std::uint64_t;
+constexpr SpanId kNoSpan = 0;
+
+struct Span {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  std::uint32_t name = 0;  // interned name index
+  SimTime begin;
+  SimTime end;             // == begin for instants; begin for still-open spans
+  bool closed = false;
+  bool instant = false;
+  // Two optional numeric attributes; enough for "bytes + lanes" style
+  // annotations without per-span allocation.
+  double a = 0.0;
+  double b = 0.0;
+};
+
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t capacity = 8192);
+
+  /// Intern a span name; ids are assigned in first-use order.
+  std::uint32_t intern(std::string_view name);
+
+  SpanId begin(std::uint32_t name, SimTime at, SpanId parent = kNoSpan,
+               double a = 0.0, double b = 0.0);
+  /// Close `id`. No-op if the span has already been overwritten by the ring.
+  void end(SpanId id, SimTime at, double a = 0.0, double b = 0.0);
+  /// Zero-duration marker span.
+  SpanId instant(std::uint32_t name, SimTime at, SpanId parent = kNoSpan,
+                 double a = 0.0, double b = 0.0);
+
+  [[nodiscard]] std::uint64_t emitted() const { return next_id_ - 1; }
+  [[nodiscard]] std::uint64_t dropped() const {
+    const std::uint64_t total = emitted();
+    return total > ring_.size() ? total - ring_.size() : 0;
+  }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+  /// Retained spans in id order (oldest retained first).
+  [[nodiscard]] std::vector<Span> spans() const;
+  [[nodiscard]] const std::string& name_of(std::uint32_t id) const { return names_[id]; }
+
+  /// Deterministic text rendering: one line per retained span, id order,
+  /// indented by parent-chain depth (depth is computed over retained spans
+  /// only; a span whose parent fell off the ring renders at depth 0).
+  [[nodiscard]] std::string serialize() const;
+
+ private:
+  [[nodiscard]] Span* find(SpanId id);
+  [[nodiscard]] const Span* find(SpanId id) const;
+
+  std::vector<Span> ring_;
+  SpanId next_id_ = 1;
+  std::vector<std::string> names_;
+};
+
+}  // namespace sage::obs

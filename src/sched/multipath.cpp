@@ -12,6 +12,21 @@ MultiPathPlanner::MultiPathPlanner(PlannerParams params) : params_(params) {
   SAGE_CHECK(params_.max_width >= 1);
 }
 
+void MultiPathPlanner::set_obs(obs::Observability* o) {
+  if (o == nullptr) {
+    obs_plan_calls_ = nullptr;
+    obs_paths_chosen_ = nullptr;
+    obs_paths_rejected_ = nullptr;
+    obs_widen_steps_ = nullptr;
+    return;
+  }
+  auto& m = o->metrics();
+  obs_plan_calls_ = m.counter("sched.plan.calls");
+  obs_paths_chosen_ = m.counter("sched.paths.chosen");
+  obs_paths_rejected_ = m.counter("sched.paths.rejected");
+  obs_widen_steps_ = m.counter("sched.widen.steps");
+}
+
 double MultiPathPlanner::path_throughput(double bottleneck_mbps, int width) const {
   SAGE_CHECK(width >= 0);
   const double g = params_.node_gain_decay;
@@ -53,6 +68,7 @@ MultiPathPlan MultiPathPlanner::plan(const monitor::ThroughputMatrix& matrix,
                                      const Inventory& inventory, int node_budget) const {
   SAGE_CHECK(node_budget >= 1);
   MultiPathPlan out;
+  if (obs_plan_calls_ != nullptr) obs_plan_calls_->add();
 
   // Working inventory. The source VM itself provides the first lane, which
   // we represent as one free helper slot in the source region.
@@ -80,7 +96,11 @@ MultiPathPlan MultiPathPlanner::plan(const monitor::ThroughputMatrix& matrix,
     const int unit = width_unit_cost(route);
     const int inventory_cap =
         std::min(params_.max_width, max_width_for(route, inv));
-    if (inventory_cap < 1 || out.nodes_used + unit > node_budget) break;
+    if (inventory_cap < 1 || out.nodes_used + unit > node_budget) {
+      // A viable route existed but the budget/inventory could not seat it.
+      if (obs_paths_rejected_ != nullptr) obs_paths_rejected_->add();
+      break;
+    }
 
     // The next-best alternative, with this route's intermediates removed —
     // its per-node throughput is the bar each additional widening node (or
@@ -95,6 +115,10 @@ MultiPathPlan MultiPathPlanner::plan(const monitor::ThroughputMatrix& matrix,
     }
     alt.exclude_direct_edge = route.is_direct() || direct_used;
     const auto next = widest_path(matrix, src, dst, alt);
+    // The alternative is a candidate evaluated at this decision point; when
+    // it exists and the loop widens the current route instead, it was
+    // considered and passed over (it may still be opened next iteration).
+    if (next && obs_paths_rejected_ != nullptr) obs_paths_rejected_->add();
     const double next_norm =
         next ? path_throughput(next->bottleneck_mbps, 1) /
                    static_cast<double>(width_unit_cost(*next))
@@ -110,6 +134,7 @@ MultiPathPlan MultiPathPlanner::plan(const monitor::ThroughputMatrix& matrix,
                next_norm) {
       ++width;
       out.nodes_used += unit;
+      if (obs_widen_steps_ != nullptr) obs_widen_steps_->add();
     }
 
     consume(route, width, inv);
@@ -120,6 +145,7 @@ MultiPathPlan MultiPathPlanner::plan(const monitor::ThroughputMatrix& matrix,
     out.paths.push_back(
         PlannedPath{route, width, path_throughput(route.bottleneck_mbps, width)});
     out.total_mbps += out.paths.back().predicted_mbps;
+    if (obs_paths_chosen_ != nullptr) obs_paths_chosen_->add();
 
     current = query(false);
   }

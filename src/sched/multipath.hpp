@@ -25,6 +25,7 @@
 
 #include <array>
 
+#include "obs/obs.hpp"
 #include "sched/paths.hpp"
 
 namespace sage::sched {
@@ -85,6 +86,12 @@ class MultiPathPlanner {
   /// adaptive callers to skip churn when a re-plan changes nothing.
   [[nodiscard]] static bool same_plan(const MultiPathPlan& a, const MultiPathPlan& b);
 
+  /// Report planning decisions into `o`'s registry (sched.plan.calls,
+  /// sched.paths.chosen / .rejected, sched.widen.steps). Pass null to
+  /// detach. The planner schedules nothing and reads no clock, so these are
+  /// pure decision counters.
+  void set_obs(obs::Observability* o);
+
  private:
   /// Node cost of one width unit on a route, and the width cap inventory
   /// allows for it.
@@ -93,6 +100,13 @@ class MultiPathPlanner {
   static void consume(const RegionPath& route, int width, Inventory& inv);
 
   PlannerParams params_;
+  // Decision counters (null when obs is off). plan() is const; counting
+  // through these pointers mutates the engine-owned registry, not the
+  // planner.
+  obs::Counter* obs_plan_calls_ = nullptr;
+  obs::Counter* obs_paths_chosen_ = nullptr;
+  obs::Counter* obs_paths_rejected_ = nullptr;
+  obs::Counter* obs_widen_steps_ = nullptr;
 };
 
 }  // namespace sage::sched

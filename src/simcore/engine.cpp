@@ -1,12 +1,18 @@
 #include "simcore/engine.hpp"
 
+#include <cstdlib>
+
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace sage::sim {
 
+SimEngine::SimEngine() = default;
+SimEngine::~SimEngine() = default;
+
 void EventHandle::cancel() {
   if (engine_ == nullptr || !engine_->live(slot_, gen_)) return;
-  engine_->release_slot(slot_);
+  engine_->cancel_slot(slot_);
 }
 
 bool EventHandle::pending() const { return engine_ != nullptr && engine_->live(slot_, gen_); }
@@ -26,6 +32,7 @@ EventHandle SimEngine::schedule_at(SimTime t, Callback fn) {
   ++s.gen;  // even -> odd: live
   s.fn = std::move(fn);
   queue_.push(Event{t, next_seq_++, slot, s.gen});
+  ++scheduled_;
   return EventHandle{this, slot, s.gen};
 }
 
@@ -39,6 +46,36 @@ void SimEngine::release_slot(std::uint32_t slot) {
   ++s.gen;  // odd -> even: dead; stale heap entries / handles now mismatch
   s.fn = nullptr;
   free_slots_.push_back(slot);
+}
+
+void SimEngine::cancel_slot(std::uint32_t slot) {
+  ++cancelled_;
+  release_slot(slot);
+}
+
+void SimEngine::enable_obs(const obs::ObsConfig& config) {
+  if (obs_ == nullptr) obs_ = std::make_unique<obs::Observability>(config);
+}
+
+bool SimEngine::enable_obs_from_env() {
+  const char* v = std::getenv("SAGE_OBS");
+  if (v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0')) {
+    enable_obs(obs::ObsConfig{});
+  }
+  return obs_ != nullptr;
+}
+
+void SimEngine::publish_obs_metrics() {
+  if (obs_ == nullptr) return;
+  auto& m = obs_->metrics();
+  m.counter("sim.events.scheduled")->add(scheduled_ - pub_scheduled_);
+  m.counter("sim.events.fired")->add(fired_ - pub_fired_);
+  m.counter("sim.events.cancelled")->add(cancelled_ - pub_cancelled_);
+  pub_scheduled_ = scheduled_;
+  pub_fired_ = fired_;
+  pub_cancelled_ = cancelled_;
+  m.gauge("sim.events.live")->set(static_cast<double>(live_events()));
+  m.gauge("sim.time_seconds")->set(now_.to_seconds());
 }
 
 bool SimEngine::fire_next() {

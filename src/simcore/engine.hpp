@@ -17,10 +17,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "common/units.hpp"
+
+namespace sage::obs {
+struct ObsConfig;
+class Observability;
+}  // namespace sage::obs
 
 namespace sage::sim {
 
@@ -51,7 +57,8 @@ class SimEngine {
  public:
   using Callback = std::function<void()>;
 
-  SimEngine() = default;
+  SimEngine();
+  ~SimEngine();
   SimEngine(const SimEngine&) = delete;
   SimEngine& operator=(const SimEngine&) = delete;
 
@@ -74,6 +81,13 @@ class SimEngine {
 
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
+  /// Lifetime totals: every schedule_* call, and every EventHandle::cancel
+  /// that actually killed a live event. Always maintained (two integer
+  /// increments; cheaper than a branch) so the event-accounting invariant
+  ///   events_scheduled() == events_fired() + events_cancelled() + live_events()
+  /// holds whether or not observability is enabled.
+  [[nodiscard]] std::uint64_t events_scheduled() const { return scheduled_; }
+  [[nodiscard]] std::uint64_t events_cancelled() const { return cancelled_; }
   /// Heap entries, including lazily-dropped cancelled events.
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   /// Scheduled events that are still live — excludes cancelled husks the
@@ -82,6 +96,20 @@ class SimEngine {
   [[nodiscard]] std::size_t live_events() const {
     return slots_.size() - free_slots_.size();
   }
+
+  /// Attach an observability bundle (metrics registry + optional tracer) to
+  /// this engine. Must be called before constructing the components that
+  /// should report into it — they cache registry cell pointers when built.
+  void enable_obs(const obs::ObsConfig& config);
+  /// enable_obs() iff the SAGE_OBS environment variable is a non-empty value
+  /// other than "0". Returns whether observability is now enabled.
+  bool enable_obs_from_env();
+  /// The engine-owned bundle, or nullptr when observability is off. This is
+  /// the single switch every instrumented layer keys off.
+  [[nodiscard]] obs::Observability* obs() const { return obs_.get(); }
+  /// Publish the engine's own counters (sim.events.*, sim.time_seconds) into
+  /// the registry. Delta-based, so repeated calls never double-count.
+  void publish_obs_metrics();
 
  private:
   friend class EventHandle;
@@ -112,13 +140,25 @@ class SimEngine {
     return slots_[slot].gen == gen;
   }
   void release_slot(std::uint32_t slot);
+  // Cancellation path only: counts the cancel, then releases. fire_next()
+  // calls release_slot() directly so fired events are never counted as
+  // cancelled.
+  void cancel_slot(std::uint32_t slot);
 
   SimTime now_ = SimTime::epoch();
   std::uint64_t next_seq_ = 0;
   std::uint64_t fired_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
+  std::unique_ptr<obs::Observability> obs_;
+  // Last values published into the registry; publish_obs_metrics() adds only
+  // the delta since the previous call.
+  std::uint64_t pub_scheduled_ = 0;
+  std::uint64_t pub_fired_ = 0;
+  std::uint64_t pub_cancelled_ = 0;
 };
 
 /// Repeats a callback at a fixed interval until stopped. The first firing is

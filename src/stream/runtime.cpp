@@ -84,6 +84,7 @@ void StreamRuntime::start() {
 
   // Resolve the adjacency once: dispatch never scans the edge list or the
   // batcher list again.
+  obs::Observability* o = engine_.obs();
   out_edges_.assign(graph_.vertices().size(), {});
   for (const Edge& e : graph_.edges()) {
     OutEdge oe;
@@ -97,7 +98,35 @@ void StreamRuntime::start() {
       }
       SAGE_CHECK_MSG(oe.geo != nullptr, "WAN edge without a geo-batcher");
     }
+    if (o != nullptr) {
+      oe.sent = o->metrics().counter(
+          "stream.edge.records",
+          {{"edge", graph_.vertex(e.from).name + "->" + graph_.vertex(e.to).name}});
+    }
     out_edges_[e.from].push_back(oe);
+  }
+
+  if (o != nullptr) {
+    auto& m = o->metrics();
+    vobs_.resize(states_.size());
+    for (const Vertex& v : graph_.vertices()) {
+      VertexObs& vo = vobs_[v.id];
+      const obs::LabelSet labels = {{"vertex", v.name}};
+      vo.arrived = m.counter("stream.records.arrived", labels);
+      vo.consumed = m.counter("stream.records.consumed", labels);
+      vo.produced = m.counter("stream.records.produced", labels);
+      if (v.kind == VertexKind::kSink) {
+        vo.watermark = m.gauge("stream.sink.watermark_s", labels);
+      }
+    }
+    obs_wan_batches_ = m.counter("stream.wan.batches");
+    obs_wan_bytes_ = m.counter("stream.wan.bytes");
+    obs_wan_failures_ = m.counter("stream.wan.failures");
+    obs_wan_records_recv_ = m.counter("stream.wan.records.recv");
+    obs_wan_records_lost_ = m.counter("stream.wan.records.lost");
+    obs_fused_stages_ = m.counter("stream.fused.stages");
+    tracer_ = o->tracer();
+    if (tracer_ != nullptr) wan_span_name_ = tracer_->intern("stream.wan_batch");
   }
 }
 
@@ -129,6 +158,15 @@ std::size_t StreamRuntime::queue_depth(VertexId v) const {
   SAGE_CHECK(v < states_.size());
   std::size_t n = 0;
   for (const PendingBatch& p : states_[v].queue) n += p.batch.size();
+  return n;
+}
+
+std::size_t StreamRuntime::geo_pending_records() const {
+  std::size_t n = 0;
+  for (const auto& b : geo_) {
+    n += b->pending.size() + b->in_flight_records;
+    for (const RecordBatch& parked : b->backlog) n += parked.size();
+  }
   return n;
 }
 
@@ -187,6 +225,7 @@ void StreamRuntime::dispatch_outputs(VertexId v, RecordBatch out) {
     recycle(std::move(out));
     return;
   }
+  if (!vobs_.empty()) vobs_[v].produced->add(out.size());
   const auto& edges = out_edges_[v];
   if (edges.empty()) {
     recycle(std::move(out));
@@ -203,6 +242,7 @@ void StreamRuntime::dispatch_outputs(VertexId v, RecordBatch out) {
 }
 
 void StreamRuntime::deliver(const OutEdge& oe, RecordBatch batch) {
+  if (oe.sent != nullptr) oe.sent->add(batch.size());
   if (oe.geo == nullptr) {
     enqueue(oe.edge.to, oe.edge.port, std::move(batch));
     return;
@@ -229,21 +269,40 @@ void StreamRuntime::pump_geo(GeoBatcher& b) {
   const cloud::Region src = graph_.vertex(b.edge.from).site;
   const cloud::Region dst = graph_.vertex(b.edge.to).site;
   const Bytes size = batch.wire_size();
+  b.in_flight_records = batch.size();
+  if (tracer_ != nullptr) {
+    b.span = tracer_->begin(wan_span_name_, engine_.now(), obs::kNoSpan,
+                            static_cast<double>(batch.size()), size.to_mb());
+  }
   auto alive = alive_;
   GeoBatcher* raw = &b;
   backend_.send(src, dst, size,
                 [this, alive, raw, batch = std::move(batch), size](const SendOutcome& o) mutable {
                   if (!*alive) return;
                   ++wan_.batches;
+                  if (obs_wan_batches_ != nullptr) obs_wan_batches_->add();
                   if (o.ok) {
                     wan_.bytes += size;
                     wan_.transfer_s.add(o.elapsed.to_seconds());
+                    if (obs_wan_bytes_ != nullptr) {
+                      obs_wan_bytes_->add(static_cast<std::uint64_t>(size.count()));
+                      obs_wan_records_recv_->add(batch.size());
+                    }
                     enqueue(raw->edge.to, raw->edge.port, std::move(batch));
                   } else {
                     ++wan_.failures;
+                    if (obs_wan_failures_ != nullptr) {
+                      obs_wan_failures_->add();
+                      obs_wan_records_lost_->add(batch.size());
+                    }
                     recycle(std::move(batch));
                   }
+                  if (tracer_ != nullptr && raw->span != obs::kNoSpan) {
+                    tracer_->end(raw->span, engine_.now());
+                    raw->span = obs::kNoSpan;
+                  }
                   raw->in_flight = false;
+                  raw->in_flight_records = 0;
                   pump_geo(*raw);
                 });
 }
@@ -255,13 +314,20 @@ void StreamRuntime::enqueue(VertexId v, int port, RecordBatch batch) {
   }
   const Vertex& vx = graph_.vertex(v);
   VertexState& st = states_[v];
+  if (!vobs_.empty()) vobs_[v].arrived->add(batch.size());
 
   if (vx.kind == VertexKind::kSink) {
     const SimTime now = engine_.now();
     st.sink.records += batch.size();
     st.sink.bytes += batch.wire_size();
+    double watermark = -1.0;
     for (const Record& r : batch.records()) {
       st.sink.latency_ms.add((now - r.event_time).to_seconds() * 1e3);
+      watermark = std::max(watermark, r.event_time.to_seconds());
+    }
+    if (!vobs_.empty() && watermark >= 0.0) {
+      obs::Gauge* g = vobs_[v].watermark;
+      g->set(std::max(g->value(), watermark));
     }
     recycle(std::move(batch));
     return;
@@ -281,6 +347,7 @@ void StreamRuntime::process_next(VertexId v) {
   st.busy = true;
   PendingBatch work = std::move(st.queue.front());
   st.queue.pop_front();
+  if (!vobs_.empty()) vobs_[v].consumed->add(work.batch.size());
 
   if (st.fused != nullptr) {
     // Stage-wise execution: each stage is charged exactly like the vertex
@@ -321,6 +388,7 @@ void StreamRuntime::run_fused_stage(VertexId v, RecordBatch batch, std::size_t s
   engine_.schedule_after(delay, [this, alive, v, stage,
                                  batch = std::move(batch)]() mutable {
     if (!*alive || !running_) return;
+    if (obs_fused_stages_ != nullptr) obs_fused_stages_->add();
     const FusedStatelessChain& chain2 = *states_[v].fused;
     chain2.apply_stage(stage, batch);
     if (!batch.empty() && stage + 1 < chain2.stage_count()) {

@@ -36,6 +36,7 @@
 #include "cloud/provider.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "obs/obs.hpp"
 #include "stream/backend.hpp"
 #include "stream/graph.hpp"
 #include "simcore/engine.hpp"
@@ -99,6 +100,11 @@ class StreamRuntime {
   /// Records currently queued at a vertex (backpressure observability).
   [[nodiscard]] std::size_t queue_depth(VertexId v) const;
 
+  /// Records currently inside the geo layer: accumulating in a pending
+  /// batch, parked in a backlog, or riding a WAN transfer. Conservation
+  /// tests need this to balance records-sent against records-arrived.
+  [[nodiscard]] std::size_t geo_pending_records() const;
+
  private:
   struct PendingBatch {
     int port;
@@ -121,8 +127,10 @@ class StreamRuntime {
     RecordBatch pending;
     SimTime oldest = SimTime::epoch();
     bool in_flight = false;  // one WAN batch at a time per edge
+    std::size_t in_flight_records = 0;
     std::deque<RecordBatch> backlog;
     std::unique_ptr<sim::PeriodicTask> flusher;
+    obs::SpanId span = obs::kNoSpan;  // open WAN-batch span
   };
 
   /// One resolved out-edge: local edges carry a null `geo`, WAN edges point
@@ -130,6 +138,16 @@ class StreamRuntime {
   struct OutEdge {
     Edge edge;
     GeoBatcher* geo = nullptr;
+    obs::Counter* sent = nullptr;  // records over this edge (obs only)
+  };
+
+  /// Per-vertex observability cells, index-aligned with states_. All null
+  /// when obs is off.
+  struct VertexObs {
+    obs::Counter* arrived = nullptr;
+    obs::Counter* consumed = nullptr;
+    obs::Counter* produced = nullptr;
+    obs::Gauge* watermark = nullptr;  // sinks: max event time seen, seconds
   };
 
   void emit_source(VertexId v);
@@ -163,6 +181,15 @@ class StreamRuntime {
   std::vector<RecordBatch> pool_;
   std::array<std::optional<cloud::VmId>, cloud::kRegionCount> site_vms_;
   WanStats wan_;
+  std::vector<VertexObs> vobs_;  // built at start(); empty when obs is off
+  obs::TraceSink* tracer_ = nullptr;
+  obs::Counter* obs_wan_batches_ = nullptr;
+  obs::Counter* obs_wan_bytes_ = nullptr;
+  obs::Counter* obs_wan_failures_ = nullptr;
+  obs::Counter* obs_wan_records_recv_ = nullptr;
+  obs::Counter* obs_wan_records_lost_ = nullptr;
+  obs::Counter* obs_fused_stages_ = nullptr;
+  std::uint32_t wan_span_name_ = 0;
   bool running_ = false;
   bool started_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);

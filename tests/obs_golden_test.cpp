@@ -1,0 +1,118 @@
+// Golden-trace test: a small fig6-style cost/time scenario (SAGE control
+// plane on the stable topology, two sends with different tradeoffs) runs
+// with tracing on, and its serialized span tree must match the committed
+// golden file byte for byte.
+//
+// The golden pins the full observable shape of the scenario: which planning
+// decisions fired (sched.plan instants with path/node counts), the
+// per-transfer spans with their chunk children, and every simulated
+// timestamp. Any change to the scheduler, the transfer engine, the fabric's
+// bandwidth arithmetic or the tracer's rendering shows up as a diff here.
+//
+// Regenerating after an *intentional* behaviour change:
+//
+//   SAGE_REGEN_GOLDEN=1 ./build/tests/obs_golden_test
+//
+// then review the diff of tests/golden/fig6_cost_time_trace.golden like any
+// other code change.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench_util.hpp"
+#include "model/tradeoff.hpp"
+#include "obs/obs.hpp"
+#include "test_util.hpp"
+
+namespace sage {
+namespace {
+
+constexpr const char* kGoldenPath = SAGE_GOLDEN_DIR "/fig6_cost_time_trace.golden";
+
+std::string read_file(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+bool write_file(const char* path, const std::string& body) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok;
+}
+
+std::string produce_trace() {
+  ::setenv("SAGE_OBS", "1", 1);
+  std::string trace;
+  {
+    bench::World world(/*seed=*/1234, /*stable=*/true);
+    bench::SageDeployOptions opts;
+    opts.regions = {cloud::Region::kNorthEU, cloud::Region::kNorthUS};
+    auto engine = bench::deploy_sage(world, opts);
+
+    // Two sends along the fig6 cost/time axis: one at the default tradeoff,
+    // one under a tight budget that forces a leaner plan.
+    int done = 0;
+    engine->send(cloud::Region::kNorthEU, cloud::Region::kNorthUS, Bytes::mb(24),
+                 [&](const stream::SendOutcome& o) {
+                   EXPECT_TRUE(o.ok);
+                   ++done;
+                 });
+    EXPECT_TRUE(world.run_until([&] { return done == 1; }));
+
+    model::Tradeoff cheap;
+    cheap.budget = Money::usd(0.05);
+    engine->send_with(cheap, cloud::Region::kNorthEU, cloud::Region::kNorthUS,
+                      Bytes::mb(12), [&](const stream::SendOutcome& o) {
+                        EXPECT_TRUE(o.ok);
+                        ++done;
+                      });
+    EXPECT_TRUE(world.run_until([&] { return done == 2; }));
+
+    EXPECT_NE(world.engine.obs(), nullptr);
+    EXPECT_NE(world.engine.obs()->tracer(), nullptr);
+    EXPECT_EQ(world.engine.obs()->tracer()->dropped(), 0u)
+        << "scenario outgrew the trace ring; golden would be truncated";
+    trace = world.engine.obs()->tracer()->serialize();
+  }
+  ::unsetenv("SAGE_OBS");
+  return trace;
+}
+
+TEST(ObsGolden, Fig6CostTimeTraceMatchesGolden) {
+  const std::string trace = produce_trace();
+  ASSERT_FALSE(trace.empty());
+  EXPECT_NE(trace.find("@ sched.plan"), std::string::npos);
+  EXPECT_NE(trace.find("- transfer "), std::string::npos);
+
+  if (const char* regen = std::getenv("SAGE_REGEN_GOLDEN");
+      regen != nullptr && regen[0] != '\0' && std::string(regen) != "0") {
+    ASSERT_TRUE(write_file(kGoldenPath, trace)) << "cannot write " << kGoldenPath;
+    GTEST_SKIP() << "golden regenerated at " << kGoldenPath << "; review the diff";
+  }
+
+  const std::string golden = read_file(kGoldenPath);
+  ASSERT_FALSE(golden.empty()) << "missing golden file " << kGoldenPath
+                               << " — run with SAGE_REGEN_GOLDEN=1 to create it";
+  EXPECT_EQ(trace, golden)
+      << "serialized trace diverged from the golden; if the change is "
+         "intentional, regenerate with SAGE_REGEN_GOLDEN=1 and review";
+}
+
+// The golden scenario must itself be reproducible, otherwise the file would
+// be impossible to regenerate faithfully on another machine.
+TEST(ObsGolden, ScenarioIsReproducible) {
+  EXPECT_EQ(produce_trace(), produce_trace());
+}
+
+}  // namespace
+}  // namespace sage
