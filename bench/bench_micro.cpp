@@ -9,7 +9,9 @@
 #include "cloud/provider.hpp"
 #include "cloud/topology.hpp"
 #include "common/rng.hpp"
+#include "core/sage.hpp"
 #include "monitor/estimator.hpp"
+#include "monitor/monitoring.hpp"
 #include "sched/multipath.hpp"
 #include "simcore/engine.hpp"
 #include "stream/graph.hpp"
@@ -336,6 +338,110 @@ void BM_MultiPathPlan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MultiPathPlan);
+
+// ---------------------------------------------------------------------------
+// Control plane fast path: epoch-cached snapshots and memoized replanning.
+// ---------------------------------------------------------------------------
+
+void BM_Snapshot(benchmark::State& state) {
+  // MonitoringService::snapshot() with a frozen sample epoch. Arg 1: the
+  // epoch-validated cache answers with one integer compare. Arg 0: every
+  // call rebuilds all pairs and recomputes estimator stats from the raw
+  // window (the seed's cost).
+  const bool cached = state.range(0) != 0;
+  sim::SimEngine engine;
+  cloud::CloudProvider provider(engine, cloud::stable_topology(), 5);
+  monitor::MonitorConfig config;
+  config.probe_interval = SimDuration::minutes(1);
+  config.cache_snapshot = cached;
+  config.estimator.cache_stats = cached;
+  monitor::MonitoringService service(provider, config);
+  for (cloud::Region r : cloud::kAllRegions) {
+    service.register_agent(r, provider.provision(r, cloud::VmSize::kSmall).id);
+  }
+  service.start();
+  engine.run_until(engine.now() + SimDuration::minutes(30));
+  service.stop();  // freeze the epoch: every call below sees the same map
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&service.snapshot());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Snapshot)->Arg(0)->Arg(1);
+
+void BM_Plan(benchmark::State& state) {
+  // Epoch-keyed PlanCache hit (arg 1) vs a raw planner run (arg 0) on
+  // identical inputs.
+  const bool cached = state.range(0) != 0;
+  auto m = bench_matrix();
+  m.epoch = 1;  // the cache keys on the epoch; hand-built matrices need one
+  sched::MultiPathPlanner planner;
+  sched::Inventory inventory;
+  inventory.fill(8);
+  sched::PlanCache cache;
+  for (auto _ : state) {
+    if (cached) {
+      benchmark::DoNotOptimize(&cache.plan(planner, m, cloud::Region::kNorthEU,
+                                           cloud::Region::kNorthUS, inventory, 25));
+    } else {
+      benchmark::DoNotOptimize(planner.plan(m, cloud::Region::kNorthEU,
+                                            cloud::Region::kNorthUS, inventory, 25));
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Plan)->Arg(0)->Arg(1);
+
+void BM_ReplanSweep(benchmark::State& state) {
+  // One coalesced replan sweep over range(0) live transfers with the
+  // monitoring epoch frozen. Arg {N, 1}: every transfer is skipped with a
+  // single integer compare. Arg {N, 0}: every transfer re-runs the planner
+  // against the fresh snapshot — the per-tick adaptation cost the seed paid
+  // for each live transfer regardless of whether anything changed.
+  const auto transfers = static_cast<int>(state.range(0));
+  const bool cached = state.range(1) != 0;
+  sim::SimEngine engine;
+  cloud::CloudProvider provider(engine, cloud::stable_topology(), 17);
+  core::SageConfig config;
+  config.regions.assign(cloud::kAllRegions.begin(), cloud::kAllRegions.end());
+  config.gateways_per_region = 2;
+  config.monitoring.probe_interval = SimDuration::minutes(1);
+  config.adapt_interval = SimDuration::zero();  // the bench drives the sweep
+  config.health_check_interval = SimDuration::zero();
+  config.memoize_control = cached;
+  config.monitoring.cache_snapshot = cached;
+  config.monitoring.estimator.cache_stats = cached;
+  core::SageEngine sage(provider, config);
+  sage.deploy();
+  engine.run_until(engine.now() + SimDuration::minutes(30));  // warm the map
+  Rng rng(23);
+  for (int i = 0; i < transfers; ++i) {
+    const auto src = cloud::kAllRegions[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+    auto dst = src;
+    while (dst == src) {
+      dst = cloud::kAllRegions[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+    }
+    // Payloads far beyond the simulated horizon (sim time stops advancing
+    // once the measurement loop starts) so every transfer stays live, but
+    // small enough that per-chunk bookkeeping doesn't dominate setup.
+    sage.send(src, dst, Bytes::gb(20), [](stream::SendOutcome) {});
+  }
+  engine.run_until(engine.now() + SimDuration::seconds(1));  // activate lanes
+  sage.monitoring().stop();  // freeze the sample epoch
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sage.replan_sweep());
+  }
+  state.SetItemsProcessed(state.iterations() * transfers);
+  sage.shutdown();
+}
+BENCHMARK(BM_ReplanSweep)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace sage

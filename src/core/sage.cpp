@@ -23,6 +23,14 @@ SageEngine::SageEngine(cloud::CloudProvider& provider, SageConfig config)
   // the two knobs in sync is a class invariant, not a user obligation.
   config_.transfer.intrusiveness = config_.model.intrusiveness;
   planner_.set_obs(engine_.obs());
+  ctrl_cache_ = config_.memoize_control && monitor::control_cache_enabled();
+  if (obs::Observability* o = engine_.obs(); o != nullptr) {
+    obs_replan_skipped_ = o->metrics().counter("sched.replan.skipped");
+  }
+  if (config_.adapt_interval > SimDuration::zero()) {
+    replan_task_ = std::make_unique<sim::PeriodicTask>(
+        engine_, config_.adapt_interval, [this] { replan_sweep(); });
+  }
   monitoring_ =
       std::make_unique<monitor::MonitoringService>(provider_, config_.monitoring);
 }
@@ -61,9 +69,9 @@ void SageEngine::shutdown() {
   if (!deployed_) return;
   deployed_ = false;
   if (health_task_) health_task_->stop();
+  if (replan_task_) replan_task_->stop();
   monitoring_->stop();
   for (auto& live : live_) {
-    if (live->adapt) live->adapt->stop();
     if (!live->transfer->finished()) live->transfer->cancel();
   }
   live_.clear();
@@ -125,7 +133,7 @@ void SageEngine::send_with(const model::Tradeoff& tradeoff, cloud::Region src,
   record.dst = dst;
   record.size = size;
 
-  const monitor::ThroughputMatrix matrix = monitoring_->snapshot();
+  const monitor::ThroughputMatrix& matrix = monitoring_->snapshot();
   const monitor::LinkEstimate& direct = matrix.at(src, dst);
 
   sched::MultiPathPlan plan;
@@ -137,9 +145,11 @@ void SageEngine::send_with(const model::Tradeoff& tradeoff, cloud::Region src,
     inputs.src = src;
     inputs.dst = dst;
     inputs.max_nodes = 1 + config_.helpers_per_region;
-    const model::TransferEstimate estimate = solver_.resolve(inputs, tradeoff);
+    const model::TransferEstimate estimate =
+        ctrl_cache_ ? resolve_cache_.resolve(solver_, inputs, tradeoff, matrix.epoch)
+                    : solver_.resolve(inputs, tradeoff);
     record.estimate = estimate;
-    plan = planner_.plan(matrix, src, dst, inventory(), estimate.nodes);
+    plan = plan_for(matrix, src, dst, estimate.nodes);
     if (obs::Observability* o = engine_.obs(); o != nullptr && o->tracer() != nullptr) {
       obs::TraceSink& t = *o->tracer();
       t.instant(t.intern("sched.plan"), engine_.now(), obs::kNoSpan,
@@ -159,8 +169,11 @@ void SageEngine::send_with(const model::Tradeoff& tradeoff, cloud::Region src,
   auto live = std::make_unique<LiveTransfer>();
   live->plan = plan;
   live->record_index = history_.size();
+  live->src = src;
+  live->dst = dst;
   live->src_gw = src_gw;
   live->dst_gw = dst_gw;
+  live->last_eval_epoch = matrix.epoch;
   std::vector<net::Lane> lanes = build_lanes(plan, src_gw, dst_gw, src);
   record.lanes_used = static_cast<int>(lanes.size());
   history_.push_back(record);
@@ -173,7 +186,6 @@ void SageEngine::send_with(const model::Tradeoff& tradeoff, cloud::Region src,
       [this, alive, raw, src, dst, size, began,
        done = std::move(done)](const net::TransferResult& r) {
         if (!*alive) return;
-        if (raw->adapt) raw->adapt->stop();
         SendRecord& rec = history_[raw->record_index];
         rec.ok = r.ok;
         rec.elapsed = engine_.now() - began;
@@ -187,25 +199,43 @@ void SageEngine::send_with(const model::Tradeoff& tradeoff, cloud::Region src,
         done(stream::SendOutcome{r.ok, rec.elapsed});
       });
 
-  if (config_.adapt_interval > SimDuration::zero()) {
-    live->adapt = std::make_unique<sim::PeriodicTask>(
-        engine_, config_.adapt_interval,
-        [this, raw, src, dst] { adapt_transfer(*raw, src, dst); });
-    live->adapt->start();
-  }
+  if (replan_task_ && !replan_task_->running()) replan_task_->start();
   live->transfer->start();
   live_.push_back(std::move(live));
 }
 
-void SageEngine::adapt_transfer(LiveTransfer& live, cloud::Region src, cloud::Region dst) {
-  if (live.transfer->finished()) {
-    if (live.adapt) live.adapt->stop();
-    return;
+std::size_t SageEngine::replan_sweep() {
+  reap();
+  if (live_.empty()) {
+    // Nothing to adapt; park the sweep until the next send restarts it.
+    if (replan_task_) replan_task_->stop();
+    return 0;
   }
-  const monitor::ThroughputMatrix matrix = monitoring_->snapshot();
-  if (!matrix.at(src, dst).ready()) return;
+  const monitor::ThroughputMatrix& matrix = monitoring_->snapshot();
+  std::size_t examined = 0;
+  for (auto& live : live_) {
+    if (ctrl_cache_ && live->last_eval_epoch == matrix.epoch) {
+      // No sample landed since this transfer was last planned: an uncached
+      // re-plan would reproduce the executing plan exactly and the
+      // threshold test (strict improvement) could never pass, so skipping
+      // is a pure elision — cached and uncached runs stay bit-identical.
+      ++replans_skipped_;
+      if (obs_replan_skipped_ != nullptr) obs_replan_skipped_->add();
+      continue;
+    }
+    adapt_transfer(*live, matrix);
+    live->last_eval_epoch = matrix.epoch;
+    ++examined;
+  }
+  return examined;
+}
+
+void SageEngine::adapt_transfer(LiveTransfer& live,
+                                const monitor::ThroughputMatrix& matrix) {
+  if (live.transfer->finished()) return;
+  if (!matrix.at(live.src, live.dst).ready()) return;
   const int budget = std::max(live.plan.nodes_used, 1);
-  sched::MultiPathPlan fresh = planner_.plan(matrix, src, dst, inventory(), budget);
+  sched::MultiPathPlan fresh = plan_for(matrix, live.src, live.dst, budget);
   if (fresh.empty()) return;
   const bool materially_better =
       fresh.total_mbps > live.plan.total_mbps * (1.0 + config_.replan_threshold);
@@ -216,9 +246,18 @@ void SageEngine::adapt_transfer(LiveTransfer& live, cloud::Region src, cloud::Re
               static_cast<double>(fresh.paths.size()),
               static_cast<double>(fresh.nodes_used));
   }
-  live.transfer->reset_lanes(build_lanes(fresh, live.src_gw, live.dst_gw, src));
+  live.transfer->reset_lanes(build_lanes(fresh, live.src_gw, live.dst_gw, live.src));
   live.plan = fresh;
   ++history_[live.record_index].replans;
+}
+
+sched::MultiPathPlan SageEngine::plan_for(const monitor::ThroughputMatrix& matrix,
+                                          cloud::Region src, cloud::Region dst,
+                                          int node_budget) {
+  if (ctrl_cache_) {
+    return plan_cache_.plan(planner_, matrix, src, dst, inventory(), node_budget);
+  }
+  return planner_.plan(matrix, src, dst, inventory(), node_budget);
 }
 
 void SageEngine::reap() {

@@ -31,6 +31,7 @@
 #include "model/tradeoff.hpp"
 #include "monitor/monitoring.hpp"
 #include "net/transfer.hpp"
+#include "obs/obs.hpp"
 #include "net/tree_transfer.hpp"
 #include "sched/broadcast.hpp"
 #include "sched/multipath.hpp"
@@ -59,8 +60,16 @@ struct SageConfig {
   /// Default tradeoff applied by the TransferBackend interface.
   model::Tradeoff tradeoff;
 
-  /// Re-planning cadence while a transfer runs.
+  /// Re-planning cadence while transfers run. One engine-wide sweep task
+  /// walks every live transfer at this interval (transfers whose monitoring
+  /// epoch is unchanged since their last evaluation are skipped in O(1)).
   SimDuration adapt_interval = SimDuration::seconds(5);
+  /// Memoize control-plane decisions (tradeoff resolution, multipath plans,
+  /// replan-sweep epoch skips) on the monitoring sample epoch. The memos
+  /// are value-preserving — cached and uncached runs are bit-identical —
+  /// so this knob (AND the SAGE_CTRL_CACHE env gate) exists for A/B
+  /// measurement and the differential tests.
+  bool memoize_control = true;
   /// Self-healing: the engine periodically replaces failed gateway/helper
   /// VMs and re-registers monitoring agents. Zero disables it.
   SimDuration health_check_interval = SimDuration::seconds(30);
@@ -129,6 +138,14 @@ class SageEngine final : public stream::TransferBackend {
   [[nodiscard]] std::unique_ptr<stream::StreamRuntime> run_job(
       stream::JobGraph graph, stream::RuntimeConfig runtime_config = {});
 
+  /// Run one coalesced replan pass over every live transfer right now (the
+  /// engine normally runs this from its adapt_interval timer). Returns the
+  /// number of transfers whose plan was actually re-evaluated — live
+  /// transfers whose monitoring epoch is unchanged since their last
+  /// evaluation are skipped with a single integer compare. Public so the
+  /// control-plane microbench and tests can drive the sweep directly.
+  std::size_t replan_sweep();
+
   // -- Introspection ---------------------------------------------------------
   [[nodiscard]] monitor::MonitoringService& monitoring() { return *monitoring_; }
   [[nodiscard]] const model::CostModel& cost_model() const { return cost_model_; }
@@ -138,22 +155,35 @@ class SageEngine final : public stream::TransferBackend {
   [[nodiscard]] const SageConfig& config() const { return config_; }
   /// VMs replaced by the self-healing loop so far.
   [[nodiscard]] std::uint64_t vms_healed() const { return vms_healed_; }
+  /// Control-plane cache accounting (monotone; all zero when memoization is
+  /// disabled via config or SAGE_CTRL_CACHE=0).
+  [[nodiscard]] std::uint64_t replans_skipped() const { return replans_skipped_; }
+  [[nodiscard]] const sched::PlanCache& plan_cache() const { return plan_cache_; }
+  [[nodiscard]] const model::ResolveCache& resolve_cache() const { return resolve_cache_; }
 
  private:
   struct LiveTransfer {
     std::unique_ptr<net::GeoTransfer> transfer;
-    std::unique_ptr<sim::PeriodicTask> adapt;
     sched::MultiPathPlan plan;
     std::size_t record_index = 0;
+    cloud::Region src = cloud::Region::kNorthEU;
+    cloud::Region dst = cloud::Region::kNorthEU;
     cloud::VmId src_gw = 0;
     cloud::VmId dst_gw = 0;
+    /// Monitoring epoch at which this transfer's plan was last (re)evaluated;
+    /// the sweep skips the transfer while the epoch stays put.
+    std::uint64_t last_eval_epoch = 0;
   };
 
   [[nodiscard]] sched::Inventory inventory() const;
   [[nodiscard]] std::vector<net::Lane> build_lanes(const sched::MultiPathPlan& plan,
                                                    cloud::VmId src_gw, cloud::VmId dst_gw,
                                                    cloud::Region src);
-  void adapt_transfer(LiveTransfer& live, cloud::Region src, cloud::Region dst);
+  void adapt_transfer(LiveTransfer& live, const monitor::ThroughputMatrix& matrix);
+  /// Memoized (when enabled) planner invocation shared by send and replan.
+  [[nodiscard]] sched::MultiPathPlan plan_for(const monitor::ThroughputMatrix& matrix,
+                                              cloud::Region src, cloud::Region dst,
+                                              int node_budget);
   void reap();
   void health_check();
 
@@ -169,6 +199,16 @@ class SageEngine final : public stream::TransferBackend {
   std::vector<std::unique_ptr<net::TreeTransfer>> live_trees_;
   std::vector<SendRecord> history_;
   std::unique_ptr<sim::PeriodicTask> health_task_;
+  /// One engine-wide sweep task replaces the per-transfer adapt timers; it
+  /// starts with the first live transfer and parks itself when none remain.
+  std::unique_ptr<sim::PeriodicTask> replan_task_;
+  sched::PlanCache plan_cache_;
+  model::ResolveCache resolve_cache_;
+  /// Effective memoization switch: config_.memoize_control AND the
+  /// SAGE_CTRL_CACHE env gate, resolved once at construction.
+  bool ctrl_cache_ = true;
+  std::uint64_t replans_skipped_ = 0;
+  obs::Counter* obs_replan_skipped_ = nullptr;
   std::uint64_t vms_healed_ = 0;
   std::uint64_t send_counter_ = 0;
   bool deployed_ = false;

@@ -82,4 +82,53 @@ class TradeoffSolver {
   const CostModel& model_;
 };
 
+/// Epoch-keyed memo in front of TradeoffSolver::resolve().
+///
+/// resolve() is a pure function of its inputs; within one monitoring epoch
+/// the link estimate for a (src, dst) pair cannot change, so
+/// (epoch, src, dst, size, vm_size, max_nodes, tradeoff) is a sound memo
+/// key — callers must derive `in.link` from the same epoch'd matrix they
+/// pass the epoch of. A hit skips rebuilding the whole cost/time frontier
+/// (max_nodes CostModel evaluations) and returns the exact estimate a
+/// fresh call would produce. Fixed-capacity ring, like sched::PlanCache.
+class ResolveCache {
+ public:
+  explicit ResolveCache(std::size_t capacity = 64);
+
+  /// Memoized solver.resolve(in, tradeoff) valid for monitoring epoch
+  /// `epoch`. The returned reference stays valid until eviction.
+  const TransferEstimate& resolve(const TradeoffSolver& solver, const TradeoffInputs& in,
+                                  const Tradeoff& tradeoff, std::uint64_t epoch);
+
+  void clear();
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Key {
+    std::uint64_t epoch = 0;
+    cloud::Region src = cloud::Region::kNorthEU;
+    cloud::Region dst = cloud::Region::kNorthEU;
+    Bytes size;
+    cloud::VmSize vm_size = cloud::VmSize::kSmall;
+    int max_nodes = 0;
+    Money budget;
+    SimDuration deadline;
+    double lambda = 0.0;
+
+    [[nodiscard]] bool operator==(const Key&) const = default;
+  };
+  struct Entry {
+    Key key;
+    TransferEstimate estimate;
+  };
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+  std::size_t next_victim_ = 0;  // ring replacement once full
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
 }  // namespace sage::model

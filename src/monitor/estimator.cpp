@@ -2,10 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/check.hpp"
 
 namespace sage::monitor {
+
+bool control_cache_enabled() {
+  const char* v = std::getenv("SAGE_CTRL_CACHE");
+  return v == nullptr || std::string_view(v) != "0";
+}
 
 void LastSampleEstimator::add_sample(SimTime, double value) {
   last_ = value;
@@ -16,21 +22,37 @@ void LinearEstimator::add_sample(SimTime, double value) {
   window_.push_back(value);
   if (window_.size() > config_.history) window_.pop_front();
   ++n_;
+  stats_valid_ = false;
+}
+
+void LinearEstimator::recompute() const {
+  if (window_.empty()) {
+    cached_mean_ = 0.0;
+    cached_stddev_ = 0.0;
+  } else {
+    double s = 0.0;
+    for (double x : window_) s += x;
+    cached_mean_ = s / static_cast<double>(window_.size());
+    if (window_.size() < 2) {
+      cached_stddev_ = 0.0;
+    } else {
+      const double m = cached_mean_;
+      double r = 0.0;
+      for (double x : window_) r += (x - m) * (x - m);
+      cached_stddev_ = std::sqrt(r / static_cast<double>(window_.size()));
+    }
+  }
+  stats_valid_ = cache_on_;
 }
 
 double LinearEstimator::mean() const {
-  if (window_.empty()) return 0.0;
-  double s = 0.0;
-  for (double x : window_) s += x;
-  return s / static_cast<double>(window_.size());
+  if (!stats_valid_) recompute();
+  return cached_mean_;
 }
 
 double LinearEstimator::stddev() const {
-  if (window_.size() < 2) return 0.0;
-  const double m = mean();
-  double s = 0.0;
-  for (double x : window_) s += (x - m) * (x - m);
-  return std::sqrt(s / static_cast<double>(window_.size()));
+  if (!stats_valid_) recompute();
+  return cached_stddev_;
 }
 
 void WeightedEstimator::add_sample(SimTime t, double value) {

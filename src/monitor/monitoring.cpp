@@ -4,11 +4,21 @@
 #include <ostream>
 
 #include "common/check.hpp"
+#include "obs/obs.hpp"
 
 namespace sage::monitor {
 
 MonitoringService::MonitoringService(cloud::CloudProvider& provider, MonitorConfig config)
-    : provider_(provider), engine_(provider.engine()), config_(config) {}
+    : provider_(provider),
+      engine_(provider.engine()),
+      config_(config),
+      cache_on_(config.cache_snapshot && control_cache_enabled()) {
+  pair_slot_.fill(-1);
+  if (obs::Observability* o = engine_.obs()) {
+    obs_rebuilt_ = o->metrics().counter("monitor.snapshot.rebuilt");
+    obs_cached_ = o->metrics().counter("monitor.snapshot.cached");
+  }
+}
 
 MonitoringService::~MonitoringService() { *alive_ = false; }
 
@@ -27,10 +37,7 @@ void MonitoringService::maybe_create_pairs() {
     for (cloud::Region b : cloud::kAllRegions) {
       if (a == b) continue;
       if (!agents_[cloud::region_index(a)] || !agents_[cloud::region_index(b)]) continue;
-      const bool exists = std::any_of(
-          links_.begin(), links_.end(),
-          [&](const auto& l) { return l->src == a && l->dst == b; });
-      if (exists) continue;
+      if (pair_slot_[pair_index(a, b)] >= 0) continue;  // already monitored
       auto link = std::make_unique<LinkMonitor>();
       link->src = a;
       link->dst = b;
@@ -38,6 +45,7 @@ void MonitoringService::maybe_create_pairs() {
       LinkMonitor* raw = link.get();
       link->task = std::make_unique<sim::PeriodicTask>(
           engine_, config_.probe_interval, [this, raw] { probe_link(*raw); });
+      pair_slot_[pair_index(a, b)] = static_cast<std::int16_t>(links_.size());
       links_.push_back(std::move(link));
       if (running_) {
         // Stagger: start this pair's cadence offset by its index so probes
@@ -114,6 +122,8 @@ void MonitoringService::probe_link(LinkMonitor& link) {
 
 void MonitoringService::ingest(LinkMonitor& link, double mbps) {
   link.estimator->add_sample(engine_.now(), mbps);
+  link.dirty = true;
+  ++epoch_;
   if (config_.history_capacity > 0) {
     link.history.push_back(Sample{engine_.now(), mbps});
     if (link.history.size() > config_.history_capacity) link.history.pop_front();
@@ -122,10 +132,8 @@ void MonitoringService::ingest(LinkMonitor& link, double mbps) {
 }
 
 std::vector<Sample> MonitoringService::history(cloud::Region src, cloud::Region dst) const {
-  for (const auto& link : links_) {
-    if (link->src == src && link->dst == dst) {
-      return std::vector<Sample>(link->history.begin(), link->history.end());
-    }
+  if (const LinkMonitor* link = find_link(src, dst)) {
+    return std::vector<Sample>(link->history.begin(), link->history.end());
   }
   return {};
 }
@@ -154,33 +162,40 @@ void MonitoringService::run_cpu_probe(cloud::Region region) {
 void MonitoringService::report_transfer_observation(cloud::Region src, cloud::Region dst,
                                                     ByteRate per_flow) {
   if (src == dst) return;
-  for (auto& link : links_) {
-    if (link->src == src && link->dst == dst) {
-      ingest(*link, per_flow.to_mb_per_sec());
-      return;
-    }
-  }
+  if (LinkMonitor* link = find_link(src, dst)) ingest(*link, per_flow.to_mb_per_sec());
 }
 
 LinkEstimate MonitoringService::estimate(cloud::Region src, cloud::Region dst) const {
-  for (const auto& link : links_) {
-    if (link->src == src && link->dst == dst) {
-      return LinkEstimate{link->estimator->mean(), link->estimator->stddev(),
-                          link->estimator->sample_count()};
-    }
+  if (const LinkMonitor* link = find_link(src, dst)) {
+    return LinkEstimate{link->estimator->mean(), link->estimator->stddev(),
+                        link->estimator->sample_count()};
   }
   return LinkEstimate{};
 }
 
-ThroughputMatrix MonitoringService::snapshot() const {
-  ThroughputMatrix m;
-  m.taken_at = engine_.now();
+const ThroughputMatrix& MonitoringService::snapshot() const {
+  cached_.taken_at = engine_.now();
+  if (cache_on_ && cache_primed_ && cached_.epoch == epoch_) {
+    // No sample landed since the last call: the entries cannot have moved.
+    ++snapshots_cached_;
+    if (obs_cached_ != nullptr) obs_cached_->add();
+    return cached_;
+  }
   for (const auto& link : links_) {
-    m.links[cloud::region_index(link->src)][cloud::region_index(link->dst)] =
+    // Only links that saw samples since the last rebuild re-query their
+    // estimator; the rest keep their (identical) cached entries. With the
+    // cache gated off every link reads as dirty, restoring the full walk.
+    if (cache_on_ && cache_primed_ && !link->dirty) continue;
+    cached_.links[cloud::region_index(link->src)][cloud::region_index(link->dst)] =
         LinkEstimate{link->estimator->mean(), link->estimator->stddev(),
                      link->estimator->sample_count()};
+    link->dirty = false;
   }
-  return m;
+  cached_.epoch = epoch_;
+  cache_primed_ = true;
+  ++snapshots_rebuilt_;
+  if (obs_rebuilt_ != nullptr) obs_rebuilt_->add();
+  return cached_;
 }
 
 double MonitoringService::cpu_estimate(cloud::Region region) const {
@@ -190,10 +205,13 @@ double MonitoringService::cpu_estimate(cloud::Region region) const {
 }
 
 Estimator* MonitoringService::link_estimator(cloud::Region src, cloud::Region dst) {
-  for (auto& link : links_) {
-    if (link->src == src && link->dst == dst) return link->estimator.get();
-  }
-  return nullptr;
+  LinkMonitor* link = find_link(src, dst);
+  if (link == nullptr) return nullptr;
+  // Mutable access may feed samples behind the service's back; treat the
+  // hand-out as a mutation so the snapshot cache stays conservative.
+  link->dirty = true;
+  ++epoch_;
+  return link->estimator.get();
 }
 
 }  // namespace sage::monitor

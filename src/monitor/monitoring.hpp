@@ -26,6 +26,7 @@
 
 #include "cloud/provider.hpp"
 #include "monitor/estimator.hpp"
+#include "obs/metrics.hpp"
 #include "simcore/engine.hpp"
 
 namespace sage::monitor {
@@ -43,6 +44,11 @@ struct LinkEstimate {
 struct ThroughputMatrix {
   std::array<std::array<LinkEstimate, cloud::kRegionCount>, cloud::kRegionCount> links{};
   SimTime taken_at;
+  /// Monotone sample epoch of the matrix contents: the value of
+  /// MonitoringService::sample_epoch() when the entries were last rebuilt.
+  /// Two snapshots with equal epochs are entry-wise identical, which is the
+  /// invariant every downstream memo (plan / resolve / replan skip) keys on.
+  std::uint64_t epoch = 0;
 
   [[nodiscard]] const LinkEstimate& at(cloud::Region src, cloud::Region dst) const {
     return links[cloud::region_index(src)][cloud::region_index(dst)];
@@ -70,6 +76,11 @@ struct MonitorConfig {
   /// logs" scientists use to understand their cloud application and the
   /// base of the self-healing loop). 0 disables history.
   std::size_t history_capacity = 2048;
+  /// Serve snapshot() from an epoch-validated cache, re-querying only links
+  /// whose estimators saw samples since the last call. Value-preserving by
+  /// construction; the knob (AND the SAGE_CTRL_CACHE gate) exists for A/B
+  /// measurement and the cached-vs-uncached differential tests.
+  bool cache_snapshot = true;
 };
 
 class MonitoringService {
@@ -98,7 +109,21 @@ class MonitoringService {
                                    ByteRate per_flow);
 
   [[nodiscard]] LinkEstimate estimate(cloud::Region src, cloud::Region dst) const;
-  [[nodiscard]] ThroughputMatrix snapshot() const;
+
+  /// The current throughput map. Served from an epoch-validated cache: when
+  /// no sample landed since the previous call only `taken_at` is refreshed
+  /// (O(1)); otherwise just the dirty links re-query their estimators. The
+  /// reference stays valid until the next snapshot() call on this service.
+  [[nodiscard]] const ThroughputMatrix& snapshot() const;
+
+  /// Monotone counter bumped by every accepted link sample (probe result or
+  /// transfer observation). Equal epochs guarantee an unchanged matrix —
+  /// the invalidation key for every control-plane memo downstream.
+  [[nodiscard]] std::uint64_t sample_epoch() const { return epoch_; }
+
+  /// Snapshot-cache accounting (monotone; for tests and the obs mirror).
+  [[nodiscard]] std::uint64_t snapshots_rebuilt() const { return snapshots_rebuilt_; }
+  [[nodiscard]] std::uint64_t snapshots_cached() const { return snapshots_cached_; }
 
   /// Estimated CPU factor of the agent VM in `region` (nominal 1.0).
   [[nodiscard]] double cpu_estimate(cloud::Region region) const;
@@ -115,7 +140,11 @@ class MonitoringService {
   std::size_t export_history_csv(std::ostream& out) const;
 
   /// Direct estimator access for experiments (may be nullptr before any
-  /// agent pair exists). Non-owning.
+  /// agent pair exists). Non-owning. Handing out mutable access marks the
+  /// link dirty and bumps the sample epoch so the snapshot cache can never
+  /// serve stale entries; callers feeding samples through the returned
+  /// pointer across multiple snapshots should prefer
+  /// report_transfer_observation, which keeps the epoch exact.
   [[nodiscard]] Estimator* link_estimator(cloud::Region src, cloud::Region dst);
 
   [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
@@ -129,26 +158,53 @@ class MonitoringService {
     std::unique_ptr<sim::PeriodicTask> task;
     std::deque<Sample> history;
     bool probe_in_flight = false;
+    /// Saw a sample since the cached snapshot last re-queried this link.
+    bool dirty = true;
   };
 
   void maybe_create_pairs();
   void probe_link(LinkMonitor& link);
   void run_cpu_probe(cloud::Region region);
   /// Common ingestion for probe results and transfer observations: feeds
-  /// the estimator, the history ring and the sample hook.
+  /// the estimator, the history ring, the epoch and the sample hook.
   void ingest(LinkMonitor& link, double mbps);
+
+  [[nodiscard]] static std::size_t pair_index(cloud::Region src, cloud::Region dst) {
+    return cloud::region_index(src) * cloud::kRegionCount + cloud::region_index(dst);
+  }
+  /// O(1) pair lookup (nullptr when the pair is unmonitored).
+  [[nodiscard]] LinkMonitor* find_link(cloud::Region src, cloud::Region dst) const {
+    const std::int16_t slot = pair_slot_[pair_index(src, dst)];
+    return slot < 0 ? nullptr : links_[static_cast<std::size_t>(slot)].get();
+  }
 
   cloud::CloudProvider& provider_;
   sim::SimEngine& engine_;
   MonitorConfig config_;
   std::array<std::optional<cloud::VmId>, cloud::kRegionCount> agents_;
   std::vector<std::unique_ptr<LinkMonitor>> links_;
+  /// 6x6 directed-pair presence/index table: pair_slot_[pair_index(a,b)] is
+  /// the links_ index of that pair's monitor, or -1. Replaces the per-
+  /// registration O(links^2) std::any_of existence scan.
+  std::array<std::int16_t, cloud::kRegionCount * cloud::kRegionCount> pair_slot_;
   std::array<std::unique_ptr<Estimator>, cloud::kRegionCount> cpu_;
   std::vector<std::unique_ptr<sim::PeriodicTask>> cpu_tasks_;
   SampleHook hook_;
   bool running_ = false;
   std::uint64_t probes_sent_ = 0;
   std::uint64_t probes_suspended_ = 0;
+  /// Bumped on every accepted link sample (see sample_epoch()).
+  std::uint64_t epoch_ = 0;
+  // Snapshot cache: entries are rebuilt lazily per dirty link. `mutable`
+  // because snapshot() is const for callers — the cache is pure memo.
+  bool cache_on_ = true;
+  mutable ThroughputMatrix cached_;
+  mutable bool cache_primed_ = false;
+  mutable std::uint64_t snapshots_rebuilt_ = 0;
+  mutable std::uint64_t snapshots_cached_ = 0;
+  // Obs mirror of the cache accounting (null when obs is off).
+  obs::Counter* obs_rebuilt_ = nullptr;
+  obs::Counter* obs_cached_ = nullptr;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 

@@ -109,4 +109,57 @@ class MultiPathPlanner {
   obs::Counter* obs_widen_steps_ = nullptr;
 };
 
+/// Epoch-keyed memo in front of MultiPathPlanner::plan().
+///
+/// plan() is a pure function of (matrix contents, src, dst, inventory,
+/// budget); the monitoring service guarantees that equal sample epochs
+/// imply an entry-wise identical matrix, so (epoch, src, dst, inventory,
+/// budget) is a sound memo key and a hit returns the *exact* plan a fresh
+/// call would have produced — cache, don't reassociate. The cache is a
+/// fixed-capacity ring (linear full-key compare, FIFO eviction): a replan
+/// sweep over hundreds of transfers sharing a handful of (pair, budget)
+/// combinations collapses to one planner run per combination per epoch.
+///
+/// Soundness caveat: only feed matrices whose epoch uniquely identifies
+/// their contents (i.e. MonitoringService::snapshot() results). Two
+/// hand-built matrices that both carry epoch 0 would alias.
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity = 64);
+
+  /// Memoized planner.plan(matrix, src, dst, inventory, budget). The
+  /// returned reference stays valid until this entry is evicted (at least
+  /// `capacity` misses away).
+  const MultiPathPlan& plan(const MultiPathPlanner& planner,
+                            const monitor::ThroughputMatrix& matrix, cloud::Region src,
+                            cloud::Region dst, const Inventory& inventory,
+                            int node_budget);
+
+  void clear();
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Key {
+    std::uint64_t epoch = 0;
+    cloud::Region src = cloud::Region::kNorthEU;
+    cloud::Region dst = cloud::Region::kNorthEU;
+    Inventory inventory{};
+    int node_budget = 0;
+
+    [[nodiscard]] bool operator==(const Key&) const = default;
+  };
+  struct Entry {
+    Key key;
+    MultiPathPlan plan;
+  };
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+  std::size_t next_victim_ = 0;  // ring replacement once full
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
 }  // namespace sage::sched

@@ -128,6 +128,100 @@ TEST(WeightedTest, WeightStaysNormalized) {
   }
 }
 
+TEST(LastSampleTest, CountsEverySampleEverSeen) {
+  LastSampleEstimator e;
+  EXPECT_EQ(e.sample_count(), 0u);
+  EXPECT_FALSE(e.ready());
+  for (int i = 1; i <= 100; ++i) {
+    e.add_sample(at_minutes(i), static_cast<double>(i));
+    EXPECT_EQ(e.sample_count(), static_cast<std::size_t>(i));
+  }
+  // Only the newest value is retained, but the count reflects the stream.
+  EXPECT_DOUBLE_EQ(e.mean(), 100.0);
+  EXPECT_DOUBLE_EQ(e.stddev(), 0.0);
+  EXPECT_TRUE(e.ready());
+}
+
+TEST(LinearTest, WindowEvictsExactlyAtHistoryBoundary) {
+  LinearEstimator e(EstimatorConfig{.history = 4});
+  for (double v : {10.0, 20.0, 30.0, 40.0}) e.add_sample(at_minutes(0), v);
+  // Exactly at capacity: nothing evicted yet.
+  EXPECT_DOUBLE_EQ(e.mean(), 25.0);
+  EXPECT_EQ(e.sample_count(), 4u);
+  // One past capacity: the 10.0 (and only it) falls out.
+  e.add_sample(at_minutes(1), 50.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 35.0);  // (20+30+40+50)/4
+  // sample_count tracks the whole stream, not the resident window.
+  EXPECT_EQ(e.sample_count(), 5u);
+  // Fully turn the window over; only the last 4 samples matter.
+  for (double v : {1.0, 1.0, 1.0, 1.0}) e.add_sample(at_minutes(2), v);
+  EXPECT_DOUBLE_EQ(e.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(e.stddev(), 0.0);
+}
+
+TEST(LinearTest, CachedStatsMatchUncachedBitForBit) {
+  // The stats memo is an evaluation-order cache: with identical inputs the
+  // cached and uncached estimators must agree to the last bit, including
+  // when queries interleave with updates (partial-window recomputes).
+  LinearEstimator cached(EstimatorConfig{.history = 8, .cache_stats = true});
+  LinearEstimator uncached(EstimatorConfig{.history = 8, .cache_stats = false});
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.uniform(0.5, 25.0);
+    cached.add_sample(at_minutes(i), v);
+    uncached.add_sample(at_minutes(i), v);
+    // Query twice so the second cached read is served from the memo.
+    EXPECT_DOUBLE_EQ(cached.mean(), uncached.mean());
+    EXPECT_DOUBLE_EQ(cached.mean(), uncached.mean());
+    EXPECT_DOUBLE_EQ(cached.stddev(), uncached.stddev());
+  }
+}
+
+TEST(WeightedTest, SigmaFloorInflatesVarianceDespiteDistrust) {
+  // The variance update uses g = max(w, 0.3): even when every far sample is
+  // distrusted (w ~ 0 on a historically stable link), sigma must still
+  // inflate — dispersion is a fact to record, only the mean is protected.
+  // Zero freshness (samples at the same instant) isolates the Gaussian term.
+  const EstimatorConfig config{.history = 10,
+                               .reference_interval = SimDuration::minutes(100)};
+  WeightedEstimator e(config);
+  for (int i = 0; i < 100; ++i) e.add_sample(at_minutes(i), 10.0);
+  ASSERT_NEAR(e.stddev(), 0.0, 1e-6);
+  e.add_sample(at_minutes(100), 2.0);
+  // Gaussian term collapses on a stable link; near-zero freshness keeps the
+  // trust weight far under the 0.3 floor, so the floor is what's acting.
+  EXPECT_LT(e.last_weight(), 0.1);
+  for (int i = 0; i < 30; ++i) {
+    e.add_sample(at_minutes(100), i % 2 == 0 ? 18.0 : 2.0);
+  }
+  EXPECT_GT(e.stddev(), 2.0);
+  // The mean itself stayed protected by the low trust weight.
+  EXPECT_NEAR(e.mean(), 10.0, 2.0);
+}
+
+TEST(WeightedTest, FreshnessClampsAtReferenceInterval) {
+  // freshness = clamp(gap / T, 0, 1): a gap of 10x the reference interval
+  // must weigh exactly like a gap of 1x — news value saturates.
+  const EstimatorConfig config{.history = 10,
+                               .reference_interval = SimDuration::minutes(10)};
+  WeightedEstimator at_t(config);
+  WeightedEstimator beyond_t(config);
+  for (int i = 0; i < 20; ++i) {
+    at_t.add_sample(at_minutes(0), 10.0);
+    beyond_t.add_sample(at_minutes(0), 10.0);
+  }
+  at_t.add_sample(at_minutes(10), 16.0);       // gap == T
+  beyond_t.add_sample(at_minutes(100), 16.0);  // gap == 10T
+  EXPECT_DOUBLE_EQ(at_t.last_weight(), beyond_t.last_weight());
+  EXPECT_DOUBLE_EQ(at_t.mean(), beyond_t.mean());
+  // And the lower clamp: a zero gap contributes no freshness at all, so the
+  // weight is the Gaussian term alone over 2.
+  WeightedEstimator zero_gap(config);
+  for (int i = 0; i < 20; ++i) zero_gap.add_sample(at_minutes(0), 10.0);
+  zero_gap.add_sample(at_minutes(0), 16.0);
+  EXPECT_LT(zero_gap.last_weight(), at_t.last_weight());
+}
+
 TEST(FactoryTest, MakesEveryKind) {
   for (EstimatorKind kind :
        {EstimatorKind::kLastSample, EstimatorKind::kLinear, EstimatorKind::kWeighted}) {

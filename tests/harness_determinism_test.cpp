@@ -2,6 +2,7 @@
 // worlds (noisy topology, multi-lane GeoTransfers) must render the exact
 // same table — byte for byte — whether it ran on 1 thread or on 4. This is
 // the same property the CI smoke job checks on the full figure benches.
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,7 @@
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "core/sage.hpp"
 #include "harness/scenario.hpp"
 #include "net/transfer.hpp"
 #include "test_util.hpp"
@@ -70,6 +72,74 @@ TEST(HarnessDeterminism, TableIsByteIdenticalAcrossThreadCounts) {
 
 TEST(HarnessDeterminism, RepeatedParallelRunsAreIdentical) {
   EXPECT_EQ(render_sweep(4), render_sweep(4));
+}
+
+// Full SAGE control loop (monitoring, tradeoff resolution, planning,
+// adaptive replanning) rendered as a scenario table. The control-plane
+// caches are value-preserving by contract, so the rendered bytes must not
+// depend on the SAGE_CTRL_CACHE gate — the same differential CI runs over
+// the real figure benches — nor on the harness thread count.
+struct SageCell {
+  std::uint64_t seed = 0;
+  int sends = 0;
+};
+
+std::string render_sage_sweep(int threads) {
+  std::vector<SageCell> grid;
+  for (std::uint64_t seed : {21u, 22u}) {
+    for (int sends : {1, 3}) grid.push_back({seed, sends});
+  }
+  harness::ScenarioRunner runner(threads);
+  const auto times = runner.sweep("sage-ctrl", grid, [](const SageCell& cell) {
+    testing::NoisyWorld world(cell.seed);
+    core::SageConfig config;
+    config.regions = {cloud::Region::kNorthEU, cloud::Region::kEastUS,
+                      cloud::Region::kNorthUS};
+    config.helpers_per_region = 3;
+    config.monitoring.probe_interval = SimDuration::minutes(1);
+    config.adapt_interval = SimDuration::seconds(5);
+    core::SageEngine engine(*world.provider, config);
+    engine.deploy();
+    world.engine.run_until(world.engine.now() + SimDuration::minutes(10));
+    int done = 0;
+    double total = 0.0;
+    for (int i = 0; i < cell.sends; ++i) {
+      engine.send(cloud::Region::kNorthEU, cloud::Region::kNorthUS, Bytes::mb(50),
+                  [&](const stream::SendOutcome& o) {
+                    EXPECT_TRUE(o.ok);
+                    total += o.elapsed.to_seconds();
+                    ++done;
+                  });
+    }
+    EXPECT_TRUE(
+        testing::run_until(world.engine, [&] { return done == cell.sends; }));
+    return total;
+  });
+
+  TextTable t({"Seed", "Sends", "Total s"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    t.add_row({std::to_string(grid[i].seed), std::to_string(grid[i].sends),
+               TextTable::num(times[i], 3)});
+  }
+  return t.render();
+}
+
+TEST(ControlCacheDifferential, CachedAndUncachedSweepsRenderIdentically) {
+  ::setenv("SAGE_CTRL_CACHE", "1", 1);
+  const std::string cached = render_sage_sweep(2);
+  ::setenv("SAGE_CTRL_CACHE", "0", 1);
+  const std::string uncached = render_sage_sweep(2);
+  ::unsetenv("SAGE_CTRL_CACHE");
+  EXPECT_FALSE(cached.empty());
+  EXPECT_EQ(cached, uncached);
+}
+
+TEST(ControlCacheDifferential, CachedSweepIsThreadCountInvariant) {
+  ::setenv("SAGE_CTRL_CACHE", "1", 1);
+  const std::string one = render_sage_sweep(1);
+  const std::string four = render_sage_sweep(4);
+  ::unsetenv("SAGE_CTRL_CACHE");
+  EXPECT_EQ(one, four);
 }
 
 TEST(WorldRunUntil, ReportsPredicateReason) {

@@ -222,5 +222,40 @@ TEST_F(SolverFixture, LambdaBlendsBetweenExtremes) {
   EXPECT_LT(e.nodes, 10);
 }
 
+TEST_F(SolverFixture, ResolveCacheReturnsExactSolverResult) {
+  ResolveCache cache;
+  const Tradeoff t = Tradeoff::within_budget(Money::usd(5.0));
+  const TransferEstimate& memo = cache.resolve(solver, inputs, t, /*epoch=*/3);
+  EXPECT_EQ(cache.misses(), 1u);
+  const TransferEstimate fresh = solver.resolve(inputs, t);
+  EXPECT_EQ(memo.nodes, fresh.nodes);
+  EXPECT_EQ(memo.time, fresh.time);
+  EXPECT_EQ(memo.total_cost(), fresh.total_cost());
+  // Same epoch and inputs: served from the memo.
+  (void)cache.resolve(solver, inputs, t, 3);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  // Epoch moved (link estimate may differ): the memo must not answer.
+  (void)cache.resolve(solver, inputs, t, 4);
+  EXPECT_EQ(cache.misses(), 2u);
+  // Different tradeoff under the same epoch is its own entry.
+  (void)cache.resolve(solver, inputs, Tradeoff::cheapest(), 4);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST_F(SolverFixture, ResolveCacheRingEvictionKeepsNewestEntries) {
+  ResolveCache cache(2);
+  const Tradeoff t;
+  for (std::uint64_t e = 1; e <= 5; ++e) (void)cache.resolve(solver, inputs, t, e);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 5u);
+  (void)cache.resolve(solver, inputs, t, 5);  // newest entry still resident
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.clear();
+  (void)cache.resolve(solver, inputs, t, 5);
+  EXPECT_EQ(cache.misses(), 6u);
+}
+
 }  // namespace
 }  // namespace sage::model

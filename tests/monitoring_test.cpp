@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/rng.hpp"
 #include "test_util.hpp"
 
 namespace sage::monitor {
@@ -168,6 +169,86 @@ TEST_F(MonitoringFixture, EstimatorKindIsConfigurable) {
   service->report_transfer_observation(kNEU, kNUS, ByteRate::mb_per_sec(2.0));
   service->report_transfer_observation(kNEU, kNUS, ByteRate::mb_per_sec(8.0));
   EXPECT_DOUBLE_EQ(service->estimate(kNEU, kNUS).mean_mbps, 8.0);
+}
+
+TEST_F(MonitoringFixture, SampleEpochBumpsOnEveryAcceptedSample) {
+  auto service = make({kNEU, kNUS});
+  EXPECT_EQ(service->sample_epoch(), 0u);
+  service->report_transfer_observation(kNEU, kNUS, ByteRate::mb_per_sec(4.0));
+  EXPECT_EQ(service->sample_epoch(), 1u);
+  service->report_transfer_observation(kNUS, kNEU, ByteRate::mb_per_sec(6.0));
+  service->report_transfer_observation(kNEU, kNUS, ByteRate::mb_per_sec(5.0));
+  EXPECT_EQ(service->sample_epoch(), 3u);
+  // The snapshot carries the epoch of the contents it was built from.
+  EXPECT_EQ(service->snapshot().epoch, 3u);
+}
+
+TEST_F(MonitoringFixture, SnapshotIsServedFromCacheUntilEpochMoves) {
+  auto service = make({kNEU, kNUS});
+  service->report_transfer_observation(kNEU, kNUS, ByteRate::mb_per_sec(4.0));
+  (void)service->snapshot();
+  EXPECT_EQ(service->snapshots_rebuilt(), 1u);
+  EXPECT_EQ(service->snapshots_cached(), 0u);
+  // Same epoch: repeated calls answer from the cache, no rebuild.
+  (void)service->snapshot();
+  (void)service->snapshot();
+  EXPECT_EQ(service->snapshots_rebuilt(), 1u);
+  EXPECT_EQ(service->snapshots_cached(), 2u);
+  // A new sample dirties the map; the next snapshot rebuilds exactly once.
+  service->report_transfer_observation(kNEU, kNUS, ByteRate::mb_per_sec(9.0));
+  (void)service->snapshot();
+  EXPECT_EQ(service->snapshots_rebuilt(), 2u);
+  EXPECT_EQ(service->snapshots_cached(), 2u);
+}
+
+TEST_F(MonitoringFixture, CachedSnapshotRefreshesTakenAtAndTracksNow) {
+  auto service = make({kNEU, kNUS});
+  service->report_transfer_observation(kNEU, kNUS, ByteRate::mb_per_sec(4.0));
+  (void)service->snapshot();
+  world.engine.run_until(world.engine.now() + SimDuration::minutes(3));
+  // Even a cache hit stamps the matrix with the current sim time.
+  EXPECT_EQ(service->snapshot().taken_at, world.engine.now());
+  EXPECT_EQ(service->snapshots_cached(), 1u);
+}
+
+TEST_F(MonitoringFixture, CachedAndUncachedSnapshotsAgreeExactly) {
+  config.probe_interval = SimDuration::minutes(1);
+  auto cached_service = make({kNEU, kNUS, kWEU});
+  MonitorConfig uncached_config = config;
+  uncached_config.cache_snapshot = false;
+  uncached_config.estimator.cache_stats = false;
+  // A second service over the same provider would double the probe traffic
+  // and change what both observe, so feed both identical synthetic samples.
+  auto uncached_service =
+      std::make_unique<MonitoringService>(*world.provider, uncached_config);
+  for (Region r : {kNEU, kNUS, kWEU}) {
+    uncached_service->register_agent(
+        r, world.provider->provision(r, VmSize::kSmall).id);
+  }
+  Rng rng(29);
+  const Region regions[] = {kNEU, kNUS, kWEU};
+  for (int i = 0; i < 200; ++i) {
+    const Region a = regions[rng.uniform_int(0, 2)];
+    const Region b = regions[rng.uniform_int(0, 2)];
+    if (a == b) continue;
+    const auto rate = ByteRate::mb_per_sec(rng.uniform(1.0, 20.0));
+    cached_service->report_transfer_observation(a, b, rate);
+    uncached_service->report_transfer_observation(a, b, rate);
+    if (i % 7 == 0) {
+      const ThroughputMatrix& c = cached_service->snapshot();
+      const ThroughputMatrix& u = uncached_service->snapshot();
+      for (Region x : regions) {
+        for (Region y : regions) {
+          EXPECT_DOUBLE_EQ(c.at(x, y).mean_mbps, u.at(x, y).mean_mbps);
+          EXPECT_DOUBLE_EQ(c.at(x, y).stddev_mbps, u.at(x, y).stddev_mbps);
+          EXPECT_EQ(c.at(x, y).samples, u.at(x, y).samples);
+        }
+      }
+    }
+  }
+  // The cached service actually exercised the lazy-rebuild path.
+  EXPECT_GT(cached_service->snapshots_rebuilt(), 0u);
+  EXPECT_EQ(uncached_service->snapshots_cached(), 0u);
 }
 
 }  // namespace

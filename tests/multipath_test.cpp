@@ -221,5 +221,58 @@ TEST(PlannerTest, RejectsNonPositiveBudget) {
                CheckFailure);
 }
 
+TEST(PlanCacheTest, HitsOnIdenticalEpochKeyMissesOnAnyChange) {
+  monitor::ThroughputMatrix m;
+  m.epoch = 7;
+  set_link(m, kNEU, kNUS, 10.0);
+  set_link(m, kNEU, kEUS, 8.0);
+  set_link(m, kEUS, kNUS, 8.0);
+  MultiPathPlanner planner;
+  PlanCache cache;
+
+  const MultiPathPlan& first = cache.plan(planner, m, kNEU, kNUS, inventory_of(4), 6);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  const MultiPathPlan& again = cache.plan(planner, m, kNEU, kNUS, inventory_of(4), 6);
+  EXPECT_EQ(cache.hits(), 1u);
+  // A hit is the exact plan a fresh call would produce.
+  const MultiPathPlan fresh = planner.plan(m, kNEU, kNUS, inventory_of(4), 6);
+  EXPECT_TRUE(MultiPathPlanner::same_plan(again, fresh));
+  EXPECT_DOUBLE_EQ(again.total_mbps, fresh.total_mbps);
+  EXPECT_TRUE(MultiPathPlanner::same_plan(first, again));
+
+  // Any component of the key differing is a miss: epoch, pair, inventory,
+  // budget.
+  m.epoch = 8;
+  (void)cache.plan(planner, m, kNEU, kNUS, inventory_of(4), 6);
+  EXPECT_EQ(cache.misses(), 2u);
+  (void)cache.plan(planner, m, kNEU, kEUS, inventory_of(4), 6);
+  EXPECT_EQ(cache.misses(), 3u);
+  (void)cache.plan(planner, m, kNEU, kNUS, inventory_of(3), 6);
+  EXPECT_EQ(cache.misses(), 4u);
+  (void)cache.plan(planner, m, kNEU, kNUS, inventory_of(4), 5);
+  EXPECT_EQ(cache.misses(), 5u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PlanCacheTest, RingEvictionBoundsSizeAndStaysCorrect) {
+  monitor::ThroughputMatrix m;
+  set_link(m, kNEU, kNUS, 10.0);
+  MultiPathPlanner planner;
+  PlanCache cache(4);
+  for (std::uint64_t e = 1; e <= 10; ++e) {
+    m.epoch = e;
+    (void)cache.plan(planner, m, kNEU, kNUS, inventory_of(4), 6);
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.misses(), 10u);
+  // The newest entry survived the ring and still hits.
+  m.epoch = 10;
+  (void)cache.plan(planner, m, kNEU, kNUS, inventory_of(4), 6);
+  EXPECT_EQ(cache.hits(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
 }  // namespace
 }  // namespace sage::sched

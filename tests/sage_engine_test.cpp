@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <vector>
+
 #include "common/check.hpp"
 #include "test_util.hpp"
 
@@ -229,6 +232,83 @@ TEST(SageAdaptationTest, ReplansWhenMapShiftsMidTransfer) {
   ASSERT_TRUE(run_until(world.engine, [&] { return done; }, SimDuration::hours(6)));
   ASSERT_EQ(engine.history().size(), 1u);
   EXPECT_GT(engine.history()[0].replans, 0);
+}
+
+TEST_F(SageFixture, ReplanSweepSkipsTransfersWithUnchangedEpoch) {
+  auto engine = deployed();
+  bool done = false;
+  engine->send(kNEU, kNUS, Bytes::gb(2), [&](const SendOutcome&) { done = true; });
+  engine->monitoring().stop();  // freeze the sample epoch
+  const std::uint64_t skipped_before = engine->replans_skipped();
+  // No sample landed since the send planned against the map: the sweep
+  // must skip the transfer on an epoch compare, not re-run the planner.
+  EXPECT_EQ(engine->replan_sweep(), 0u);
+  EXPECT_EQ(engine->replan_sweep(), 0u);
+  EXPECT_EQ(engine->replans_skipped(), skipped_before + 2);
+  // A fresh sample moves the epoch; the next sweep re-evaluates.
+  engine->monitoring().report_transfer_observation(kNEU, kNUS,
+                                                   ByteRate::mb_per_sec(12.0));
+  EXPECT_EQ(engine->replan_sweep(), 1u);
+  EXPECT_EQ(engine->replans_skipped(), skipped_before + 2);
+  ASSERT_TRUE(run_until(world.engine, [&] { return done; }, SimDuration::hours(12)));
+}
+
+TEST_F(SageFixture, ControlPlaneMemosCollapseIdenticalDecisions) {
+  auto engine = deployed();
+  engine->monitoring().stop();  // freeze the epoch across the batch
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    engine->send(kNEU, kNUS, Bytes::mb(10), [&](const SendOutcome& o) {
+      EXPECT_TRUE(o.ok);
+      ++done;
+    });
+  }
+  // One real solver/planner run; the other three sends hit the memos.
+  EXPECT_EQ(engine->resolve_cache().misses(), 1u);
+  EXPECT_EQ(engine->resolve_cache().hits(), 3u);
+  EXPECT_EQ(engine->plan_cache().misses(), 1u);
+  EXPECT_EQ(engine->plan_cache().hits(), 3u);
+  ASSERT_TRUE(run_until(world.engine, [&] { return done == 4; }, SimDuration::hours(6)));
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(engine->history()[i].lanes_used, engine->history()[0].lanes_used);
+    ASSERT_TRUE(engine->history()[i].estimate.has_value());
+    EXPECT_EQ(engine->history()[i].estimate->nodes, engine->history()[0].estimate->nodes);
+  }
+}
+
+TEST(SageCacheDifferentialTest, MemoizedAndUnmemoizedRunsAgreeExactly) {
+  // The whole control-plane cache stack (estimator stats, snapshot cache,
+  // plan/resolve memos, sweep epoch skip) is value-preserving: two
+  // otherwise-identical simulations must take every decision identically,
+  // down to exact completion times.
+  auto run = [](bool memoize) {
+    StableWorld world;
+    SageConfig config;
+    config.regions = {kNEU, kWEU, kEUS, kNUS};
+    config.helpers_per_region = 4;
+    config.monitoring.probe_interval = SimDuration::minutes(1);
+    config.memoize_control = memoize;
+    config.monitoring.cache_snapshot = memoize;
+    config.monitoring.estimator.cache_stats = memoize;
+    SageEngine engine(*world.provider, config);
+    engine.deploy();
+    world.engine.run_until(world.engine.now() + SimDuration::minutes(15));
+    int done = 0;
+    for (int i = 0; i < 3; ++i) {
+      engine.send(kNEU, kNUS, Bytes::mb(40), [&](const SendOutcome& o) {
+        EXPECT_TRUE(o.ok);
+        ++done;
+      });
+    }
+    EXPECT_TRUE(
+        run_until(world.engine, [&] { return done == 3; }, SimDuration::hours(6)));
+    std::vector<std::tuple<double, int, int>> decisions;
+    for (const SendRecord& r : engine.history()) {
+      decisions.emplace_back(r.elapsed.to_seconds(), r.lanes_used, r.replans);
+    }
+    return decisions;
+  };
+  EXPECT_EQ(run(true), run(false));
 }
 
 }  // namespace
