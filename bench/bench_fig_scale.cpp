@@ -1,0 +1,115 @@
+// Fig S — Planet-scale sparse fabric: 64 and 256 regions, 10k+ flows.
+//
+// The paper's evaluation stops at 6 Azure regions; this figure stresses the
+// runtime-parameterized topology layer far past that. Each grid point builds
+// a generated ring-of-continents world (contiguous continent blocks with an
+// intra-continent full mesh and a gateway ring), spreads a large flow
+// population round-robin over the *declared* WAN pairs, and drives the
+// fabric for a fixed virtual window. Everything printed is simulator state
+// (flow completions, delivered volume, active-link counts), so stdout is
+// byte-identical at any SAGE_BENCH_THREADS — the CI determinism diff runs
+// this grid at 1 and 4 threads. Wall-clock cost per point rides the --json
+// record; EXPERIMENTS.md tabulates it as the sub-quadratic scaling evidence:
+// fabric state and settlement passes are sized by declared/active links, so
+// cost per flow stays flat from 64 to 256 regions instead of growing with
+// the 4096x larger dense pair grid.
+#include "bench_util.hpp"
+
+#include "cloud/fabric.hpp"
+
+namespace sage::bench {
+namespace {
+
+struct Cell {
+  std::size_t regions = 0;
+  int flows = 0;
+};
+
+struct RunResult {
+  std::size_t wan_pairs = 0;     // declared directed WAN pairs
+  std::size_t active_links = 0;  // pairs carrying >= 1 flow after activation
+  int completed = 0;
+  Bytes delivered;
+  double window_s = 0.0;
+};
+
+RunResult run_one(const Cell& c) {
+  sim::SimEngine engine;
+  cloud::Fabric fabric(engine,
+                       cloud::ring_of_continents(c.regions, 8, /*stable=*/false),
+                       /*seed=*/9000 + c.regions * 13 + static_cast<std::size_t>(c.flows));
+
+  // Flows only between declared WAN pairs: the sparse fabric has no state —
+  // and no routes — for unlinked region pairs.
+  std::vector<std::pair<cloud::Region, cloud::Region>> pairs;
+  for (const cloud::Topology::Edge& e : fabric.topology().edges()) {
+    if (e.src != e.dst) pairs.emplace_back(e.src, e.dst);
+  }
+
+  RunResult out;
+  out.wan_pairs = pairs.size();
+  for (int i = 0; i < c.flows; ++i) {
+    const auto& [a, b] = pairs[static_cast<std::size_t>(i) % pairs.size()];
+    const auto src = fabric.add_node(a, ByteRate::megabits_per_sec(100),
+                                     ByteRate::megabits_per_sec(100));
+    const auto dst = fabric.add_node(b, ByteRate::megabits_per_sec(100),
+                                     ByteRate::megabits_per_sec(100));
+    // Deterministic payload spread so completions stagger across the window
+    // instead of draining the fabric in one settle burst.
+    const Bytes payload = Bytes::mb(100 + (i % 7) * 50);
+    fabric.start_flow(src, dst, payload, {}, [&out](const cloud::FlowResult& r) {
+      if (!r.ok()) return;
+      ++out.completed;
+      out.delivered = out.delivered + r.transferred;
+    });
+  }
+  engine.run_until(engine.now() + SimDuration::seconds(1));  // activate flows
+  for (const auto& [a, b] : pairs) {
+    if (fabric.pair_flow_count(a, b) > 0) ++out.active_links;
+  }
+
+  const SimDuration window = SimDuration::minutes(10);
+  out.window_s = window.to_seconds();
+  engine.run_until(engine.now() + window);
+  return out;
+}
+
+void run(BenchContext& ctx) {
+  const std::vector<Cell> grid =
+      ctx.smoke() ? std::vector<Cell>{{16, 2000}, {64, 2000}}
+                  : std::vector<Cell>{{64, 10000}, {128, 10000}, {256, 10000},
+                                      {256, 20000}};
+
+  const auto results = ctx.sweep("scale", grid, [](const Cell& c) { return run_one(c); });
+
+  TextTable t({"Regions", "Flows", "WAN pairs", "Active links", "Completed",
+               "Delivered", "Agg MB/s"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const RunResult& r = results[i];
+    t.add_row({std::to_string(grid[i].regions), std::to_string(grid[i].flows),
+               std::to_string(r.wan_pairs), std::to_string(r.active_links),
+               std::to_string(r.completed), to_string(r.delivered),
+               TextTable::num(r.delivered.to_mb() / r.window_s, 1)});
+  }
+  print_table(t);
+  print_note(
+      "\nShape check: every declared WAN pair carries flows (active == "
+      "declared), and the declared set grows ~linearly in region count "
+      "(continent meshes + gateway ring), never as the N^2 dense grid. "
+      "Wall cost per point (see --json record) tracks live flow-ticks, not "
+      "regions: growing 64 -> 256 regions at a fixed flow population makes "
+      "the point CHEAPER (flows spread over ~17x more links, contend less, "
+      "finish sooner), while doubling flows at 256 regions roughly doubles "
+      "cost. O(active), as designed — a dense N^2 fabric would instead pay "
+      "a 4096x larger state and settle sweep at 256 regions.");
+}
+
+}  // namespace
+}  // namespace sage::bench
+
+int main(int argc, char** argv) {
+  sage::bench::BenchContext ctx(argc, argv, "fig_scale", "Fig S",
+                                "Planet scale: sparse fabric at 64-256 regions");
+  sage::bench::run(ctx);
+  return ctx.finish();
+}

@@ -153,6 +153,40 @@ void BM_SettleDisjoint(benchmark::State& state) {
 }
 BENCHMARK(BM_SettleDisjoint)->Arg(16)->Arg(64)->Arg(256);
 
+void BM_SettleSparse(benchmark::State& state) {
+  // Region-count scaling on a generated sparse topology: a fixed flow
+  // population spread over the declared WAN edges of an N-region
+  // ring-of-continents world. The fabric's state and settlement passes are
+  // sized by the active link set, not N^2, so the curve across
+  // Arg(8/64/256) must stay flat (same flows, same refresh ticks) instead
+  // of growing ~1000x the way a dense N^2 pair grid would.
+  const auto regions = static_cast<std::size_t>(state.range(0));
+  constexpr int kFlows = 256;
+  sim::SimEngine engine;
+  cloud::Fabric fabric(engine, cloud::ring_of_continents(regions, 8, /*stable=*/true), 1);
+  std::vector<std::pair<cloud::Region, cloud::Region>> pairs;
+  for (const cloud::Topology::Edge& e : fabric.topology().edges()) {
+    if (e.src != e.dst) pairs.emplace_back(e.src, e.dst);
+  }
+  for (int i = 0; i < kFlows; ++i) {
+    const auto& [a, b] = pairs[static_cast<std::size_t>(i) % pairs.size()];
+    const auto src = fabric.add_node(a, ByteRate::megabits_per_sec(100),
+                                     ByteRate::megabits_per_sec(100));
+    const auto dst = fabric.add_node(b, ByteRate::megabits_per_sec(100),
+                                     ByteRate::megabits_per_sec(100));
+    // Payload far beyond the measured horizon so no flow completes mid-run.
+    fabric.start_flow(src, dst, Bytes::gb(100'000), {},
+                      [](const cloud::FlowResult&) {});
+  }
+  engine.run_until(engine.now() + SimDuration::seconds(1));  // activate flows
+  for (auto _ : state) {
+    // Each refresh tick re-settles every bucket with live flows.
+    engine.run_until(engine.now() + SimDuration::millis(500));
+  }
+  state.SetItemsProcessed(state.iterations() * kFlows);
+}
+BENCHMARK(BM_SettleSparse)->Arg(8)->Arg(64)->Arg(256);
+
 // ---------------------------------------------------------------------------
 // Streaming data plane.
 // ---------------------------------------------------------------------------
@@ -310,8 +344,7 @@ monitor::ThroughputMatrix bench_matrix() {
   for (cloud::Region a : cloud::kAllRegions) {
     for (cloud::Region b : cloud::kAllRegions) {
       if (a != b) {
-        m.links[cloud::region_index(a)][cloud::region_index(b)] =
-            monitor::LinkEstimate{rng.uniform(2.0, 12.0), 0.5, 20};
+        m.set(a, b, monitor::LinkEstimate{rng.uniform(2.0, 12.0), 0.5, 20});
       }
     }
   }
@@ -338,6 +371,36 @@ void BM_MultiPathPlan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MultiPathPlan);
+
+void BM_PlanSparse(benchmark::State& state) {
+  // Planner cost vs region count on a sparse hub-and-spoke estimate map.
+  // Widest-path relaxes only the declared adjacency rows — 2(N-1) directed
+  // entries here — so relaxation work is O(links); what remains is the
+  // linear selection scan per settled node (O(N^2) worst case), which
+  // bounds this curve. A dense matrix would add N^2 relaxation probes on
+  // top of that scan.
+  const auto regions = static_cast<std::size_t>(state.range(0));
+  monitor::ThroughputMatrix m(regions);
+  m.epoch = 1;
+  Rng rng(9);
+  const cloud::Region hub = cloud::make_region(0);
+  for (std::size_t i = 1; i < regions; ++i) {
+    m.set(hub, cloud::make_region(i),
+          monitor::LinkEstimate{rng.uniform(2.0, 12.0), 0.5, 20});
+    m.set(cloud::make_region(i), hub,
+          monitor::LinkEstimate{rng.uniform(2.0, 12.0), 0.5, 20});
+  }
+  sched::MultiPathPlanner planner;
+  sched::Inventory inventory;
+  inventory.fill(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(m, cloud::make_region(1),
+                                          cloud::make_region(regions - 1), inventory,
+                                          25));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlanSparse)->Arg(8)->Arg(64)->Arg(256);
 
 // ---------------------------------------------------------------------------
 // Control plane fast path: epoch-cached snapshots and memoized replanning.
@@ -368,6 +431,32 @@ void BM_Snapshot(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Snapshot)->Arg(0)->Arg(1);
+
+void BM_SnapshotSparse(benchmark::State& state) {
+  // Snapshot rebuild cost vs region count on a generated hub-and-spoke
+  // topology. The monitor only materializes estimators for declared links
+  // (2(N-1) directed WAN pairs here), and the sparse ThroughputMatrix walks
+  // those entries — so the rebuild is O(active links), not O(N^2). Cache
+  // off: every call below pays the full rebuild (the interesting cost).
+  const auto regions = static_cast<std::size_t>(state.range(0));
+  sim::SimEngine engine;
+  cloud::CloudProvider provider(engine, cloud::hub_and_spoke(regions, /*stable=*/true), 5);
+  monitor::MonitorConfig config;
+  config.probe_interval = SimDuration::minutes(5);
+  config.cache_snapshot = false;  // measure the rebuild, not the epoch check
+  monitor::MonitoringService service(provider, config);
+  for (cloud::Region r : provider.topology().regions()) {
+    service.register_agent(r, provider.provision(r, cloud::VmSize::kSmall).id);
+  }
+  service.start();
+  engine.run_until(engine.now() + SimDuration::minutes(20));
+  service.stop();  // freeze the epoch: every call below sees the same map
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&service.snapshot());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotSparse)->Arg(8)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
 
 void BM_Plan(benchmark::State& state) {
   // Epoch-keyed PlanCache hit (arg 1) vs a raw planner run (arg 0) on

@@ -1,11 +1,13 @@
 #include "baselines/gateway.hpp"
 
+#include <algorithm>
+
 namespace sage::baselines {
 
 cloud::VmId GatewayPool::gateway(cloud::Region region) { return gateways(region, 1)[0]; }
 
 std::vector<cloud::VmId> GatewayPool::gateways(cloud::Region region, int count) {
-  auto& pool = gateways_[cloud::region_index(region)];
+  auto& pool = pool_for(gateways_, region);
   while (static_cast<int>(pool.size()) < count) {
     pool.push_back(provider_.provision(region, size_).id);
   }
@@ -13,7 +15,7 @@ std::vector<cloud::VmId> GatewayPool::gateways(cloud::Region region, int count) 
 }
 
 std::vector<cloud::VmId> GatewayPool::helpers(cloud::Region region, int count) {
-  auto& pool = helpers_[cloud::region_index(region)];
+  auto& pool = pool_for(helpers_, region);
   while (static_cast<int>(pool.size()) < count) {
     pool.push_back(provider_.provision(region, size_).id);
   }
@@ -22,10 +24,12 @@ std::vector<cloud::VmId> GatewayPool::helpers(cloud::Region region, int count) {
 
 std::size_t GatewayPool::heal() {
   std::size_t replaced = 0;
-  for (cloud::Region r : cloud::kAllRegions) {
-    for (auto* pool : {&gateways_[cloud::region_index(r)],
-                       &helpers_[cloud::region_index(r)]}) {
-      for (cloud::VmId& vm : *pool) {
+  const std::size_t n = std::max(gateways_.size(), helpers_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const cloud::Region r = cloud::make_region(i);
+    for (auto* pools : {&gateways_, &helpers_}) {
+      if (i >= pools->size()) continue;
+      for (cloud::VmId& vm : (*pools)[i]) {
         if (!provider_.is_active(vm)) {
           vm = provider_.provision(r, size_).id;
           ++replaced;

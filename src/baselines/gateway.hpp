@@ -8,7 +8,6 @@
 // benches depend on that.
 #pragma once
 
-#include <array>
 #include <optional>
 #include <vector>
 
@@ -43,10 +42,18 @@ class GatewayPool {
   [[nodiscard]] cloud::CloudProvider& provider() { return provider_; }
 
  private:
+  /// Pool vector for a region, grown on demand (indexed by region).
+  static std::vector<cloud::VmId>& pool_for(
+      std::vector<std::vector<cloud::VmId>>& pools, cloud::Region region) {
+    const std::size_t i = cloud::region_index(region);
+    if (i >= pools.size()) pools.resize(i + 1);
+    return pools[i];
+  }
+
   cloud::CloudProvider& provider_;
   cloud::VmSize size_;
-  std::array<std::vector<cloud::VmId>, cloud::kRegionCount> gateways_;
-  std::array<std::vector<cloud::VmId>, cloud::kRegionCount> helpers_;
+  std::vector<std::vector<cloud::VmId>> gateways_;  // indexed by region
+  std::vector<std::vector<cloud::VmId>> helpers_;
 };
 
 }  // namespace sage::baselines

@@ -11,13 +11,19 @@
 namespace sage::cloud {
 
 Fabric::Fabric(sim::SimEngine& engine, Topology topology, std::uint64_t seed)
-    : engine_(engine), topology_(topology), rng_(seed) {
-  link_flows_.resize(kPairLinks);
-  link_avail_.resize(kPairLinks, 0.0);
-  link_cap0_.resize(kPairLinks, 0.0);
-  link_count_.resize(kPairLinks, 0);
-  link_stamp_.resize(kPairLinks, 0);
-  link_visit_.resize(kPairLinks, 0);
+    : engine_(engine),
+      topology_(std::move(topology)),
+      wan_links_(topology_.edges().size()),
+      rng_(seed) {
+  pair_models_.resize(wan_links_);
+  pair_live_.assign(wan_links_, 0u);
+  egress_.assign(topology_.region_count(), Bytes::zero());
+  link_flows_.resize(wan_links_);
+  link_avail_.resize(wan_links_, 0.0);
+  link_cap0_.resize(wan_links_, 0.0);
+  link_count_.resize(wan_links_, 0);
+  link_stamp_.resize(wan_links_, 0);
+  link_visit_.resize(wan_links_, 0);
   if (obs::Observability* o = engine_.obs()) {
     auto& m = o->metrics();
     obs_ = std::make_unique<ObsCells>();
@@ -33,15 +39,15 @@ Fabric::Fabric(sim::SimEngine& engine, Topology topology, std::uint64_t seed)
     obs_->bytes_moved = m.counter("fabric.bytes.moved");
     obs_->bytes_forgiven = m.counter("fabric.bytes.forgiven");
     obs_->bytes_aborted = m.counter("fabric.bytes.aborted");
+    obs_->link_bytes.resize(wan_links_, nullptr);
+    obs_->link_util.resize(wan_links_, nullptr);
   }
 }
 
 namespace {
 
-std::string pair_label(std::size_t pair) {
-  const Region a = kAllRegions[pair / kRegionCount];
-  const Region b = kAllRegions[pair % kRegionCount];
-  return std::string(region_name(a)) + "->" + std::string(region_name(b));
+std::string edge_label(const Topology::Edge& e) {
+  return std::string(region_name(e.src)) + "->" + std::string(region_name(e.dst));
 }
 
 }  // namespace
@@ -49,8 +55,8 @@ std::string pair_label(std::size_t pair) {
 obs::Counter* Fabric::link_bytes_cell(std::size_t pair) {
   obs::Counter*& cell = obs_->link_bytes[pair];
   if (cell == nullptr) {
-    cell = engine_.obs()->metrics().counter("fabric.link.bytes",
-                                            {{"link", pair_label(pair)}});
+    cell = engine_.obs()->metrics().counter(
+        "fabric.link.bytes", {{"link", edge_label(topology_.edges()[pair])}});
   }
   return cell;
 }
@@ -58,8 +64,8 @@ obs::Counter* Fabric::link_bytes_cell(std::size_t pair) {
 obs::Gauge* Fabric::link_util_cell(std::size_t pair) {
   obs::Gauge*& cell = obs_->link_util[pair];
   if (cell == nullptr) {
-    cell = engine_.obs()->metrics().gauge("fabric.link.utilization",
-                                          {{"link", pair_label(pair)}});
+    cell = engine_.obs()->metrics().gauge(
+        "fabric.link.utilization", {{"link", edge_label(topology_.edges()[pair])}});
   }
   return cell;
 }
@@ -91,7 +97,7 @@ NodeId Fabric::add_node(Region region, ByteRate nic_up, ByteRate nic_down) {
   node_up_.push_back(nic_up);
   node_down_.push_back(nic_down);
   node_models_.push_back(nullptr);
-  const std::size_t links = kPairLinks + nodes_.size() * 2;
+  const std::size_t links = wan_links_ + nodes_.size() * 2;
   link_flows_.resize(links);
   link_avail_.resize(links, 0.0);
   link_count_.resize(links, 0);
@@ -133,17 +139,15 @@ Region Fabric::node_region(NodeId node) const {
 }
 
 ByteRate Fabric::link_capacity_now(std::size_t link) {
-  if (link < kPairLinks) {
+  if (link < wan_links_) {
     auto& model = pair_models_[link];
     if (!model) {
-      const Region a = kAllRegions[link / kRegionCount];
-      const Region b = kAllRegions[link % kRegionCount];
-      const PairLinkSpec& spec = topology_.link(a, b);
+      const PairLinkSpec& spec = topology_.edges()[link].spec;
       model.emplace(spec.capacity, spec.variability, rng_.fork());
     }
     return model->capacity_at(engine_.now());
   }
-  const std::size_t rel = link - kPairLinks;
+  const std::size_t rel = link - wan_links_;
   const NodeId node = static_cast<NodeId>(rel / 2);
   const ByteRate nominal = (rel % 2 == 0) ? node_up_[node] : node_down_[node];
   // Stable topologies (zero intra-DC noise) keep NICs analytic for tests.
@@ -163,6 +167,13 @@ ByteRate Fabric::link_capacity_now(std::size_t link) {
 
 ByteRate Fabric::pair_capacity_now(Region a, Region b) {
   return link_capacity_now(pair_link(a, b));
+}
+
+std::size_t Fabric::pair_link(Region a, Region b) const {
+  const LinkSlot link = topology_.edge_index(a, b);
+  SAGE_CHECK_MSG(link != kNoLink,
+                 "fabric: topology declares no link between those regions");
+  return static_cast<std::size_t>(link);
 }
 
 FlowId Fabric::start_flow(NodeId src, NodeId dst, Bytes size, FlowOptions options,
@@ -208,10 +219,11 @@ FlowId Fabric::start_flow(NodeId src, NodeId dst, Bytes size, FlowOptions option
   SAGE_CHECK_MSG(f.option_cap.bytes_per_second() > 0.0, "flow demand cap must be positive");
   f.started = engine_.now();
   f.on_done = std::move(on_done);
-  f.links = {kPairLinks + static_cast<std::size_t>(src) * 2, pair_link(ra, rb),
-             kPairLinks + static_cast<std::size_t>(dst) * 2 + 1};
+  const std::size_t pair = pair_link(ra, rb);
+  f.links = {wan_links_ + static_cast<std::size_t>(src) * 2, pair,
+             wan_links_ + static_cast<std::size_t>(dst) * 2 + 1};
   flows_.emplace(id, std::move(f));
-  ++pair_live_[pair_link(ra, rb)];
+  ++pair_live_[pair];
   if (obs_) {
     obs_->flows_started->add();
     obs_->bytes_offered->add(static_cast<std::uint64_t>(size.count()));
@@ -469,8 +481,8 @@ void Fabric::settle_flows(const std::vector<Flow*>& flows) {
         // Capacity snapshot for the utilization gauges: link_capacity_now
         // advances the link model's RNG, so it must not be queried a second
         // time at the same timestamp (obs-on/off runs would diverge). Only
-        // region-pair links are gauged; node NIC links sit past kPairLinks.
-        if (obs_ && l < kPairLinks) link_cap0_[l] = link_avail_[l];
+        // region-pair links are gauged; node NIC links sit past wan_links_.
+        if (obs_ && l < wan_links_) link_cap0_[l] = link_avail_[l];
         link_count_[l] = 0;
         touched_links_.push_back(l);
       }
@@ -543,7 +555,7 @@ void Fabric::settle_flows(const std::vector<Flow*>& flows) {
     // Post-settlement utilization of every region-pair link this component
     // touched: allocated / capacity-at-stamp-time.
     for (std::size_t l : touched_links_) {
-      if (l >= kPairLinks || link_cap0_[l] <= 0.0) continue;
+      if (l >= wan_links_ || link_cap0_[l] <= 0.0) continue;
       const double used = link_cap0_[l] - std::max(link_avail_[l], 0.0);
       link_util_cell(l)->set(used / link_cap0_[l]);
     }

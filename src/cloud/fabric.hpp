@@ -126,20 +126,24 @@ class Fabric {
   [[nodiscard]] std::size_t active_flow_count() const { return flows_.size(); }
 
   /// Number of live flows currently crossing the (a, b) region-pair link
-  /// (including flows still in their setup-latency phase). O(1): served
-  /// from the per-link flow counters. The monitoring layer uses this to
-  /// suspend probes on busy links.
+  /// (including flows still in their setup-latency phase). O(log degree):
+  /// an edge-id lookup plus the per-link flow counter. The monitoring layer
+  /// uses this to suspend probes on busy links. Zero for undeclared pairs.
   [[nodiscard]] std::size_t pair_flow_count(Region a, Region b) const {
-    return pair_live_[pair_link(a, b)];
+    const LinkSlot link = topology_.edge_index(a, b);
+    return link == kNoLink ? 0 : pair_live_[static_cast<std::size_t>(link)];
   }
 
   /// Rate-settlement granularity (default 500 ms of simulated time).
   void set_refresh_period(SimDuration d) { refresh_period_ = d; }
 
  private:
-  // Link indexing: [0, kPairLinks) region-pair links (row-major src*6+dst;
-  // the diagonal holds intra-DC links), then two links per node (up, down).
-  static constexpr std::size_t kPairLinks = kRegionCount * kRegionCount;
+  // Link indexing: [0, wan_links_) are the topology's declared directed
+  // edges in edge-id order (the diagonal entries hold intra-DC links), then
+  // two links per node (up, down). For the default 6-region measured
+  // topology the edge ids coincide with the historical row-major src*6+dst
+  // slots, so link-id-derived state (lazy RNG forks, settle iteration
+  // order) is unchanged. All per-pair state is O(edges), never O(N²).
 
   // Per-connection transient hiccup parameters (see start_flow).
   static constexpr double kHiccupProbability = 0.12;
@@ -179,9 +183,9 @@ class Fabric {
     bool failed = false;
   };
 
-  std::size_t pair_link(Region a, Region b) const {
-    return region_index(a) * kRegionCount + region_index(b);
-  }
+  /// Dense link id of the declared (a, b) edge. CHECK-fails for undeclared
+  /// pairs — callers route over declared adjacency only.
+  std::size_t pair_link(Region a, Region b) const;
 
   /// A flow's current demand ceiling: min(option cap, nominal per-flow TCP
   /// ceiling scaled by the pair link's congestion factor). Multi-tenant
@@ -239,14 +243,15 @@ class Fabric {
     obs::Counter* bytes_moved = nullptr;
     obs::Counter* bytes_forgiven = nullptr;  // sub-byte rounding at completion
     obs::Counter* bytes_aborted = nullptr;   // remaining at failure/cancel
-    std::array<obs::Counter*, kPairLinks> link_bytes{};
-    std::array<obs::Gauge*, kPairLinks> link_util{};
+    std::vector<obs::Counter*> link_bytes;  // sized wan_links_, lazy cells
+    std::vector<obs::Gauge*> link_util;
   };
   obs::Counter* link_bytes_cell(std::size_t pair);
   obs::Gauge* link_util_cell(std::size_t pair);
 
   sim::SimEngine& engine_;
   Topology topology_;
+  std::size_t wan_links_ = 0;  // topology_.edges().size(); node links follow
   Rng rng_;
   SimDuration refresh_period_ = SimDuration::millis(500);
 
@@ -259,19 +264,19 @@ class Fabric {
   // topologies; lazily created per node.
   std::vector<std::unique_ptr<LinkCapacityModel>> node_models_;
 
-  // Pair-link capacity models, created lazily per directed pair.
-  std::array<std::optional<LinkCapacityModel>, kPairLinks> pair_models_;
+  // Pair-link capacity models, created lazily per declared edge.
+  std::vector<std::optional<LinkCapacityModel>> pair_models_;  // sized wan_links_
 
   std::unordered_map<FlowId, Flow> flows_;  // node-based: Flow* stay stable
   FlowId next_flow_id_ = 1;
-  std::array<Bytes, kRegionCount> egress_{};
+  std::vector<Bytes> egress_;  // sized region_count
   sim::EventHandle refresh_event_;
 
   // Dense, persistent link accounting (index = link id). Scratch entries
   // are validated by stamp so a settle touches only its component's links —
   // no per-call clearing, no hashing, deterministic index-order iteration.
   std::vector<std::vector<Flow*>> link_flows_;  // active flows per link
-  std::array<std::uint32_t, kPairLinks> pair_live_{};  // live flows per pair link
+  std::vector<std::uint32_t> pair_live_;  // live flows per edge, sized wan_links_
   std::vector<double> link_avail_;       // scratch: unallocated capacity
   std::vector<double> link_cap0_;        // scratch: capacity at stamp time (obs only)
   std::vector<std::int32_t> link_count_; // scratch: unsettled flows on link

@@ -24,11 +24,16 @@ VariabilityParams cpu_variability() {
 
 CloudProvider::CloudProvider(sim::SimEngine& engine, Topology topology, std::uint64_t seed)
     : engine_(engine), rng_(seed) {
-  fabric_ = std::make_unique<Fabric>(engine_, topology, rng_.next_u64());
-  for (Region r : kAllRegions) {
-    blobs_[region_index(r)] = std::make_unique<BlobService>(
-        engine_, *fabric_, r, pricing_, meter_, rng_.next_u64());
+  fabric_ = std::make_unique<Fabric>(engine_, std::move(topology), rng_.next_u64());
+  // Region order defines blob RNG fork order — identical to the historical
+  // kAllRegions loop for the default topology.
+  const std::size_t n = fabric_->topology().region_count();
+  blobs_.reserve(n);
+  for (Region r : fabric_->topology().regions()) {
+    blobs_.push_back(std::make_unique<BlobService>(engine_, *fabric_, r, pricing_,
+                                                   meter_, rng_.next_u64()));
   }
+  egress_billed_.assign(n, Bytes::zero());
 }
 
 VmHandle CloudProvider::provision(Region region, VmSize size) {
@@ -111,7 +116,7 @@ FlowId CloudProvider::transfer(VmId src, VmId dst, Bytes size, FlowOptions optio
 CostReport CloudProvider::cost_report() {
   // Egress: bill only the delta since the last report (the fabric counter
   // is cumulative).
-  for (Region r : kAllRegions) {
+  for (Region r : fabric_->topology().regions()) {
     const Bytes total = fabric_->egress_from(r);
     const Bytes delta = total - egress_billed_[region_index(r)];
     if (delta > Bytes::zero()) {

@@ -100,9 +100,9 @@ class CloudProvider {
   CostMeter meter_;
   Rng rng_;
   std::unique_ptr<Fabric> fabric_;
-  std::array<std::unique_ptr<BlobService>, kRegionCount> blobs_;
+  std::vector<std::unique_ptr<BlobService>> blobs_;  // one per topology region
   std::vector<VmRecord> vms_;
-  std::array<Bytes, kRegionCount> egress_billed_{};
+  std::vector<Bytes> egress_billed_;
 };
 
 }  // namespace sage::cloud

@@ -1,14 +1,20 @@
-// The simulated cloud's geography: the six 2013-era Azure datacenters the
-// SAGE evaluation ran on (North/West Europe, North/South/East/West US).
+// The simulated cloud's geography. Six 2013-era Azure datacenters
+// (North/West Europe, North/South/East/West US) remain the named built-in
+// sites of the default calibrated topology, but a Region is now just a
+// dense runtime site index: topology generators mint synthetic regions
+// (R006, R007, ...) far past the named six, up to tens of thousands of
+// sites. Nothing in the data or control plane may assume kRegionCount —
+// it is the size of the *named* set, not of the deployment.
 #pragma once
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <string_view>
 
 namespace sage::cloud {
 
-enum class Region : std::uint8_t {
+enum class Region : std::uint16_t {
   kNorthEU = 0,
   kWestEU = 1,
   kNorthUS = 2,
@@ -17,6 +23,9 @@ enum class Region : std::uint8_t {
   kWestUS = 5,
 };
 
+/// Number of *named* built-in regions (the default calibrated topology).
+/// Runtime deployments may span far more sites; size runtime state off
+/// Topology::region_count(), never off this constant.
 inline constexpr std::size_t kRegionCount = 6;
 
 inline constexpr std::array<Region, kRegionCount> kAllRegions = {
@@ -30,6 +39,14 @@ enum class Continent : std::uint8_t { kEurope, kNorthAmerica };
   return static_cast<std::size_t>(r);
 }
 
+/// The i-th region of a deployment (synthetic past the named six).
+[[nodiscard]] constexpr Region make_region(std::size_t i) {
+  return static_cast<Region>(static_cast<std::uint16_t>(i));
+}
+
+/// Continent of the six *named* regions (used by the calibrated default
+/// topology's variability model). Synthetic regions carry their continent
+/// in the Topology itself, not here.
 [[nodiscard]] constexpr Continent continent_of(Region r) {
   switch (r) {
     case Region::kNorthEU:
@@ -40,40 +57,32 @@ enum class Continent : std::uint8_t { kEurope, kNorthAmerica };
   }
 }
 
-[[nodiscard]] constexpr std::string_view region_name(Region r) {
-  switch (r) {
-    case Region::kNorthEU:
-      return "North EU";
-    case Region::kWestEU:
-      return "West EU";
-    case Region::kNorthUS:
-      return "North US";
-    case Region::kSouthUS:
-      return "South US";
-    case Region::kEastUS:
-      return "East US";
-    case Region::kWestUS:
-      return "West US";
-  }
-  return "?";
+namespace detail {
+/// Stable interned label for a synthetic region index ("R042"). Thread-safe
+/// (harness worlds run on pool threads); returned views never dangle.
+[[nodiscard]] std::string_view synthetic_region_label(std::size_t index);
+}  // namespace detail
+
+/// Human label for traces / tables. Named regions keep their historical
+/// labels; synthetic regions fall back to a generated "R042"-style code so
+/// obs labels and --json output stay meaningful at any N.
+[[nodiscard]] inline std::string_view region_name(Region r) {
+  static constexpr std::array<std::string_view, kRegionCount> kNames = {
+      "North EU", "West EU", "North US", "South US", "East US", "West US",
+  };
+  const std::size_t i = region_index(r);
+  if (i < kNames.size()) return kNames[i];
+  return detail::synthetic_region_label(i);
 }
 
-[[nodiscard]] constexpr std::string_view region_code(Region r) {
-  switch (r) {
-    case Region::kNorthEU:
-      return "NEU";
-    case Region::kWestEU:
-      return "WEU";
-    case Region::kNorthUS:
-      return "NUS";
-    case Region::kSouthUS:
-      return "SUS";
-    case Region::kEastUS:
-      return "EUS";
-    case Region::kWestUS:
-      return "WUS";
-  }
-  return "?";
+/// Short code for CSV/compact output ("NEU", ..., "R042" for synthetic).
+[[nodiscard]] inline std::string_view region_code(Region r) {
+  static constexpr std::array<std::string_view, kRegionCount> kCodes = {
+      "NEU", "WEU", "NUS", "SUS", "EUS", "WUS",
+  };
+  const std::size_t i = region_index(r);
+  if (i < kCodes.size()) return kCodes[i];
+  return detail::synthetic_region_label(i);
 }
 
 }  // namespace sage::cloud

@@ -91,7 +91,7 @@ std::vector<net::Lane> SageEngine::build_lanes(const sched::MultiPathPlan& plan,
                                                cloud::Region src) {
   std::vector<net::Lane> lanes;
   // Per-region helper cursors so distinct lanes get distinct VMs.
-  std::array<int, cloud::kRegionCount> cursor{};
+  std::vector<int> cursor(provider_.topology().region_count(), 0);
   bool first_lane = true;
 
   for (const sched::PlannedPath& p : plan.paths) {
@@ -283,8 +283,7 @@ void SageEngine::disseminate(cloud::Region src, const std::vector<cloud::Region>
   // Map the region tree onto gateway VMs. Regions appear in dissemination
   // order, so parents always precede children.
   std::vector<net::TreeNode> nodes;
-  std::array<int, cloud::kRegionCount> index;
-  index.fill(-1);
+  std::vector<int> index(provider_.topology().region_count(), -1);
   nodes.push_back(net::TreeNode{pool_.gateway(src), -1});
   index[cloud::region_index(src)] = 0;
   std::vector<cloud::Region> node_region = {src};

@@ -8,12 +8,55 @@
 
 namespace sage::monitor {
 
+const LinkEstimate& ThroughputMatrix::at(cloud::Region src, cloud::Region dst) const {
+  static const LinkEstimate kAbsent{};
+  const std::size_t s = cloud::region_index(src);
+  if (s >= rows_.size()) return kAbsent;
+  const std::vector<std::int32_t>& row = rows_[s];
+  const auto it = std::lower_bound(row.begin(), row.end(), dst,
+                                   [this](std::int32_t id, cloud::Region d) {
+                                     return entries_[static_cast<std::size_t>(id)].dst < d;
+                                   });
+  if (it == row.end() || entries_[static_cast<std::size_t>(*it)].dst != dst) {
+    return kAbsent;
+  }
+  return entries_[static_cast<std::size_t>(*it)].est;
+}
+
+const std::vector<std::int32_t>& ThroughputMatrix::row(cloud::Region src) const {
+  static const std::vector<std::int32_t> kEmpty;
+  const std::size_t s = cloud::region_index(src);
+  return s < rows_.size() ? rows_[s] : kEmpty;
+}
+
+LinkEstimate& ThroughputMatrix::slot(cloud::Region src, cloud::Region dst) {
+  const std::size_t s = cloud::region_index(src);
+  const std::size_t d = cloud::region_index(dst);
+  ensure_regions(std::max(s, d) + 1);
+  std::vector<std::int32_t>& row = rows_[s];
+  const auto it = std::lower_bound(row.begin(), row.end(), dst,
+                                   [this](std::int32_t id, cloud::Region to) {
+                                     return entries_[static_cast<std::size_t>(id)].dst < to;
+                                   });
+  if (it != row.end() && entries_[static_cast<std::size_t>(*it)].dst == dst) {
+    return entries_[static_cast<std::size_t>(*it)].est;
+  }
+  const std::int32_t id = static_cast<std::int32_t>(entries_.size());
+  entries_.push_back(Entry{src, dst, LinkEstimate{}});
+  row.insert(it, id);
+  return entries_.back().est;
+}
+
 MonitoringService::MonitoringService(cloud::CloudProvider& provider, MonitorConfig config)
     : provider_(provider),
       engine_(provider.engine()),
       config_(config),
+      region_count_(provider.topology().region_count()),
       cache_on_(config.cache_snapshot && control_cache_enabled()) {
-  pair_slot_.fill(-1);
+  agents_.resize(region_count_);
+  cpu_.resize(region_count_);
+  pair_slot_.assign(region_count_ * region_count_, -1);
+  cached_.ensure_regions(region_count_);
   if (obs::Observability* o = engine_.obs()) {
     obs_rebuilt_ = o->metrics().counter("monitor.snapshot.rebuilt");
     obs_cached_ = o->metrics().counter("monitor.snapshot.cached");
@@ -33,32 +76,36 @@ void MonitoringService::register_agent(cloud::Region region, cloud::VmId vm) {
 }
 
 void MonitoringService::maybe_create_pairs() {
-  for (cloud::Region a : cloud::kAllRegions) {
-    for (cloud::Region b : cloud::kAllRegions) {
-      if (a == b) continue;
-      if (!agents_[cloud::region_index(a)] || !agents_[cloud::region_index(b)]) continue;
-      if (pair_slot_[pair_index(a, b)] >= 0) continue;  // already monitored
-      auto link = std::make_unique<LinkMonitor>();
-      link->src = a;
-      link->dst = b;
-      link->estimator = make_estimator(config_.kind, config_.estimator);
-      LinkMonitor* raw = link.get();
-      link->task = std::make_unique<sim::PeriodicTask>(
-          engine_, config_.probe_interval, [this, raw] { probe_link(*raw); });
-      pair_slot_[pair_index(a, b)] = static_cast<std::int16_t>(links_.size());
-      links_.push_back(std::move(link));
-      if (running_) {
-        // Stagger: start this pair's cadence offset by its index so probes
-        // spread evenly over the interval instead of bursting together.
-        const auto k = links_.size() - 1;
-        const SimDuration offset =
-            config_.probe_interval * (static_cast<double>(k % 16) / 16.0);
-        auto alive = alive_;
-        sim::PeriodicTask* task = links_.back()->task.get();
-        engine_.schedule_after(offset, [alive, task] {
-          if (*alive) task->start();
-        });
-      }
+  // Monitors follow the topology's declared adjacency: only pairs that
+  // physically carry traffic are probed, so monitor state is O(edges). The
+  // default topology enumerates its edges row-major, which reproduces the
+  // historical all-pairs creation (and probe-stagger) order exactly.
+  for (const cloud::Topology::Edge& e : provider_.topology().edges()) {
+    const cloud::Region a = e.src;
+    const cloud::Region b = e.dst;
+    if (a == b) continue;  // diagonal = intra-DC, never probed
+    if (!agents_[cloud::region_index(a)] || !agents_[cloud::region_index(b)]) continue;
+    if (pair_slot_[pair_index(a, b)] >= 0) continue;  // already monitored
+    auto link = std::make_unique<LinkMonitor>();
+    link->src = a;
+    link->dst = b;
+    link->estimator = make_estimator(config_.kind, config_.estimator);
+    LinkMonitor* raw = link.get();
+    link->task = std::make_unique<sim::PeriodicTask>(
+        engine_, config_.probe_interval, [this, raw] { probe_link(*raw); });
+    pair_slot_[pair_index(a, b)] = static_cast<std::int32_t>(links_.size());
+    links_.push_back(std::move(link));
+    if (running_) {
+      // Stagger: start this pair's cadence offset by its index so probes
+      // spread evenly over the interval instead of bursting together.
+      const auto k = links_.size() - 1;
+      const SimDuration offset =
+          config_.probe_interval * (static_cast<double>(k % 16) / 16.0);
+      auto alive = alive_;
+      sim::PeriodicTask* task = links_.back()->task.get();
+      engine_.schedule_after(offset, [alive, task] {
+        if (*alive) task->start();
+      });
     }
   }
 }
@@ -76,7 +123,7 @@ void MonitoringService::start() {
       if (*alive) task->start();
     });
   }
-  for (cloud::Region r : cloud::kAllRegions) {
+  for (cloud::Region r : provider_.topology().regions()) {
     if (!agents_[cloud::region_index(r)]) continue;
     cpu_tasks_.push_back(std::make_unique<sim::PeriodicTask>(
         engine_, config_.cpu_probe_interval, [this, r] { run_cpu_probe(r); }));
@@ -186,7 +233,7 @@ const ThroughputMatrix& MonitoringService::snapshot() const {
     // estimator; the rest keep their (identical) cached entries. With the
     // cache gated off every link reads as dirty, restoring the full walk.
     if (cache_on_ && cache_primed_ && !link->dirty) continue;
-    cached_.links[cloud::region_index(link->src)][cloud::region_index(link->dst)] =
+    cached_.slot(link->src, link->dst) =
         LinkEstimate{link->estimator->mean(), link->estimator->stddev(),
                      link->estimator->sample_count()};
     link->dirty = false;

@@ -40,9 +40,21 @@ struct LinkEstimate {
   [[nodiscard]] bool ready() const { return samples > 0; }
 };
 
-/// Snapshot of all directed inter-region estimates (the "online map").
-struct ThroughputMatrix {
-  std::array<std::array<LinkEstimate, cloud::kRegionCount>, cloud::kRegionCount> links{};
+/// Snapshot of the directed inter-region estimates (the "online map").
+///
+/// Sparse: entries exist only for monitored pairs, indexed by per-source
+/// rows sorted by destination, so memory and iteration cost scale with the
+/// monitored links — never N². Planners walk row(src) as an adjacency list;
+/// absent pairs read as a zero-sample estimate, exactly like an unmonitored
+/// pair of the historical dense matrix.
+class ThroughputMatrix {
+ public:
+  struct Entry {
+    cloud::Region src;
+    cloud::Region dst;
+    LinkEstimate est;
+  };
+
   SimTime taken_at;
   /// Monotone sample epoch of the matrix contents: the value of
   /// MonitoringService::sample_epoch() when the entries were last rebuilt.
@@ -50,9 +62,34 @@ struct ThroughputMatrix {
   /// invariant every downstream memo (plan / resolve / replan skip) keys on.
   std::uint64_t epoch = 0;
 
-  [[nodiscard]] const LinkEstimate& at(cloud::Region src, cloud::Region dst) const {
-    return links[cloud::region_index(src)][cloud::region_index(dst)];
+  ThroughputMatrix() = default;
+  explicit ThroughputMatrix(std::size_t region_count) { ensure_regions(region_count); }
+
+  /// Number of regions the map spans (grows with the highest region ever
+  /// set). Planners size their per-region scratch off this.
+  [[nodiscard]] std::size_t region_count() const { return rows_.size(); }
+  void ensure_regions(std::size_t n) {
+    if (n > rows_.size()) rows_.resize(n);
   }
+
+  /// Estimate for a directed pair; a zero-sample (not ready) estimate when
+  /// the pair was never set. O(log row degree).
+  [[nodiscard]] const LinkEstimate& at(cloud::Region src, cloud::Region dst) const;
+
+  /// Entry indices of src's outgoing monitored pairs, dst ascending.
+  [[nodiscard]] const std::vector<std::int32_t>& row(cloud::Region src) const;
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Mutable estimate slot for the pair, created (and regions grown) on
+  /// demand.
+  [[nodiscard]] LinkEstimate& slot(cloud::Region src, cloud::Region dst);
+  void set(cloud::Region src, cloud::Region dst, const LinkEstimate& est) {
+    slot(src, dst) = est;
+  }
+
+ private:
+  std::vector<Entry> entries_;
+  std::vector<std::vector<std::int32_t>> rows_;  // entry ids, sorted by dst
 };
 
 /// One recorded measurement (kept in the per-link history ring).
@@ -169,25 +206,27 @@ class MonitoringService {
   /// the estimator, the history ring, the epoch and the sample hook.
   void ingest(LinkMonitor& link, double mbps);
 
-  [[nodiscard]] static std::size_t pair_index(cloud::Region src, cloud::Region dst) {
-    return cloud::region_index(src) * cloud::kRegionCount + cloud::region_index(dst);
+  [[nodiscard]] std::size_t pair_index(cloud::Region src, cloud::Region dst) const {
+    return cloud::region_index(src) * region_count_ + cloud::region_index(dst);
   }
   /// O(1) pair lookup (nullptr when the pair is unmonitored).
   [[nodiscard]] LinkMonitor* find_link(cloud::Region src, cloud::Region dst) const {
-    const std::int16_t slot = pair_slot_[pair_index(src, dst)];
+    const std::int32_t slot = pair_slot_[pair_index(src, dst)];
     return slot < 0 ? nullptr : links_[static_cast<std::size_t>(slot)].get();
   }
 
   cloud::CloudProvider& provider_;
   sim::SimEngine& engine_;
   MonitorConfig config_;
-  std::array<std::optional<cloud::VmId>, cloud::kRegionCount> agents_;
+  std::size_t region_count_ = 0;  // provider topology's region count
+  std::vector<std::optional<cloud::VmId>> agents_;  // sized region_count_
   std::vector<std::unique_ptr<LinkMonitor>> links_;
-  /// 6x6 directed-pair presence/index table: pair_slot_[pair_index(a,b)] is
-  /// the links_ index of that pair's monitor, or -1. Replaces the per-
-  /// registration O(links^2) std::any_of existence scan.
-  std::array<std::int16_t, cloud::kRegionCount * cloud::kRegionCount> pair_slot_;
-  std::array<std::unique_ptr<Estimator>, cloud::kRegionCount> cpu_;
+  /// Directed-pair presence/index table: pair_slot_[pair_index(a,b)] is the
+  /// links_ index of that pair's monitor, or -1. 32-bit slots: an int16
+  /// table overflows once N² monitored pairs exceed 32767 (a 256-region
+  /// mesh has 65k). Replaces the per-registration O(links²) existence scan.
+  std::vector<std::int32_t> pair_slot_;  // sized region_count_²
+  std::vector<std::unique_ptr<Estimator>> cpu_;  // sized region_count_
   std::vector<std::unique_ptr<sim::PeriodicTask>> cpu_tasks_;
   SampleHook hook_;
   bool running_ = false;

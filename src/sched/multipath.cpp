@@ -75,15 +75,19 @@ MultiPathPlan MultiPathPlanner::plan(const monitor::ThroughputMatrix& matrix,
   Inventory inv = inventory;
   ++inv[cloud::region_index(src)];
   bool direct_used = false;
+  const std::size_t n = std::max({matrix.region_count(),
+                                  cloud::region_index(src) + 1,
+                                  cloud::region_index(dst) + 1});
   // Once a path is opened, its intermediate datacenters leave the candidate
   // pool (the algorithm widens an existing path rather than rediscovering
   // the same route as another nominally-new path).
-  std::array<bool, cloud::kRegionCount> excluded{};
+  RegionMask excluded;
+  excluded.fill(false);
 
   auto query = [&](bool exclude_direct) {
     PathQueryOptions o;
-    for (cloud::Region r : cloud::kAllRegions) {
-      const std::size_t i = cloud::region_index(r);
+    o.usable.fill(false);
+    for (std::size_t i = 0; i < n; ++i) {
       o.usable[i] = inv[i] > 0 && !excluded[i];
     }
     o.exclude_direct_edge = exclude_direct || direct_used;
@@ -106,11 +110,11 @@ MultiPathPlan MultiPathPlanner::plan(const monitor::ThroughputMatrix& matrix,
     // its per-node throughput is the bar each additional widening node (or
     // node group, for relay paths) must clear.
     PathQueryOptions alt;
-    for (cloud::Region r : cloud::kAllRegions) {
-      const std::size_t i = cloud::region_index(r);
+    alt.usable.fill(false);
+    for (std::size_t i = 0; i < n; ++i) {
       alt.usable[i] = inv[i] > 0 && !excluded[i];
       for (std::size_t k = 1; k + 1 < route.regions.size(); ++k) {
-        if (route.regions[k] == r) alt.usable[i] = false;
+        if (cloud::region_index(route.regions[k]) == i) alt.usable[i] = false;
       }
     }
     alt.exclude_direct_edge = route.is_direct() || direct_used;
@@ -177,8 +181,12 @@ MultiPathPlan MultiPathPlanner::widest_single_path_plan(
   Inventory inv = inventory;
   ++inv[cloud::region_index(src)];
   PathQueryOptions o;
-  for (cloud::Region r : cloud::kAllRegions) {
-    o.usable[cloud::region_index(r)] = inv[cloud::region_index(r)] > 0;
+  o.usable.fill(false);
+  const std::size_t n = std::max({matrix.region_count(),
+                                  cloud::region_index(src) + 1,
+                                  cloud::region_index(dst) + 1});
+  for (std::size_t i = 0; i < n; ++i) {
+    o.usable[i] = inv[i] > 0;
   }
   const auto route = widest_path(matrix, src, dst, o);
   if (!route) return out;

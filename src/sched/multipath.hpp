@@ -23,7 +23,8 @@
 // source VM itself sends).
 #pragma once
 
-#include <array>
+#include <algorithm>
+#include <vector>
 
 #include "obs/obs.hpp"
 #include "sched/paths.hpp"
@@ -52,8 +53,40 @@ struct MultiPathPlan {
 };
 
 /// Per-region count of VMs available as forwarders / scatter helpers
-/// (excluding the transfer's own source and destination VMs).
-using Inventory = std::array<int, cloud::kRegionCount>;
+/// (excluding the transfer's own source and destination VMs). Regions
+/// never written read as the fill/default value (0 unless fill() was
+/// called), so an Inventory works at any region count without
+/// materializing N entries.
+class Inventory {
+ public:
+  Inventory() = default;
+
+  /// Mutable count; grows the backing store on first touch of a region.
+  [[nodiscard]] int& operator[](std::size_t i) {
+    if (i >= counts_.size()) counts_.resize(i + 1, default_);
+    return counts_[i];
+  }
+  [[nodiscard]] int operator[](std::size_t i) const {
+    return i < counts_.size() ? counts_[i] : default_;
+  }
+  /// Reset every region (materialized or not) to `v`.
+  void fill(int v) {
+    counts_.clear();
+    default_ = v;
+  }
+
+  friend bool operator==(const Inventory& a, const Inventory& b) {
+    const std::size_t n = std::max(a.counts_.size(), b.counts_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return a.default_ == b.default_;
+  }
+
+ private:
+  std::vector<int> counts_;
+  int default_ = 0;
+};
 
 class MultiPathPlanner {
  public:

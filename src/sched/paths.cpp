@@ -1,6 +1,8 @@
 #include "sched/paths.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/check.hpp"
 
@@ -10,29 +12,25 @@ std::optional<RegionPath> widest_path(const monitor::ThroughputMatrix& matrix,
                                       cloud::Region src, cloud::Region dst,
                                       const PathQueryOptions& options) {
   SAGE_CHECK(src != dst);
-  constexpr std::size_t n = cloud::kRegionCount;
   const std::size_t s = cloud::region_index(src);
   const std::size_t d = cloud::region_index(dst);
+  const std::size_t n = std::max({matrix.region_count(), s + 1, d + 1});
 
-  auto edge = [&](std::size_t a, std::size_t b) -> double {
-    if (a == b) return 0.0;
-    if (options.exclude_direct_edge && a == s && b == d) return 0.0;
-    const monitor::LinkEstimate& e = matrix.links[a][b];
-    if (e.samples < options.min_samples) return 0.0;
-    return std::max(e.mean_mbps, 0.0);
-  };
   auto allowed = [&](std::size_t v) {
     return v == s || v == d || options.usable[v];
   };
 
   // Dijkstra on the max-min metric: width[v] = best bottleneck achievable
-  // from s to v. O(n^2) is instantaneous at n = 6.
-  std::array<double, n> width{};
-  std::array<int, n> prev{};
-  std::array<bool, n> done{};
-  prev.fill(-1);
+  // from s to v. Node selection is a linear scan (index order, so ties are
+  // deterministic); relaxation walks the snapshot's sparse adjacency row —
+  // absent pairs have zero width and can never improve a path, exactly as
+  // in the historical dense scan.
+  std::vector<double> width(n, 0.0);
+  std::vector<int> prev(n, -1);
+  std::vector<char> done(n, 0);
   width[s] = std::numeric_limits<double>::infinity();
 
+  const auto& entries = matrix.entries();
   for (std::size_t iter = 0; iter < n; ++iter) {
     std::size_t u = n;
     double best = 0.0;
@@ -45,9 +43,13 @@ std::optional<RegionPath> widest_path(const monitor::ThroughputMatrix& matrix,
     if (u == n) break;
     done[u] = true;
     if (u == d) break;
-    for (std::size_t v = 0; v < n; ++v) {
-      if (done[v] || !allowed(v)) continue;
-      const double w = std::min(width[u], edge(u, v));
+    for (std::int32_t id : matrix.row(cloud::make_region(u))) {
+      const monitor::ThroughputMatrix::Entry& e = entries[static_cast<std::size_t>(id)];
+      const std::size_t v = cloud::region_index(e.dst);
+      if (v == u || done[v] || !allowed(v)) continue;
+      if (options.exclude_direct_edge && u == s && v == d) continue;
+      if (e.est.samples < options.min_samples) continue;
+      const double w = std::min(width[u], std::max(e.est.mean_mbps, 0.0));
       if (w > width[v]) {
         width[v] = w;
         prev[v] = static_cast<int>(u);
@@ -66,7 +68,7 @@ std::optional<RegionPath> widest_path(const monitor::ThroughputMatrix& matrix,
   }
   SAGE_CHECK(rev.back() == s);
   for (auto it = rev.rbegin(); it != rev.rend(); ++it) {
-    path.regions.push_back(cloud::kAllRegions[*it]);
+    path.regions.push_back(cloud::make_region(*it));
   }
   return path;
 }

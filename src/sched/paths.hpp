@@ -2,14 +2,14 @@
 //
 // The "shortest path" of the geo-transfer literature is really the path of
 // maximum bottleneck throughput: Dijkstra with the min-throughput-so-far as
-// the path metric, maximized. The region graph is tiny (6 datacenters), so
-// the planner can afford to re-run this on every fresh monitoring snapshot
-// — that cheapness is exactly why the system's path selection works where a
-// full flow-graph formulation (needing continuous all-pairs, all-widths
-// monitoring) would not.
+// the path metric, maximized. Relaxation walks the sparse snapshot's
+// adjacency rows, so the cost is O(V² + monitored edges) at any region
+// count — cheap enough to re-run on every fresh monitoring snapshot, which
+// is exactly why the system's path selection works where a full flow-graph
+// formulation (needing continuous all-pairs monitoring) would not.
 #pragma once
 
-#include <array>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -17,6 +17,44 @@
 #include "monitor/monitoring.hpp"
 
 namespace sage::sched {
+
+/// Per-region boolean mask with a default value for regions never set —
+/// planners at any N can exclude a handful of regions without materializing
+/// N entries. fill(v) resets every region (set or not) to v.
+class RegionMask {
+ public:
+  class Ref {
+   public:
+    Ref(RegionMask& m, std::size_t i) : m_(m), i_(i) {}
+    Ref& operator=(bool v) {
+      m_.set(i_, v);
+      return *this;
+    }
+    operator bool() const { return static_cast<const RegionMask&>(m_).test(i_); }
+
+   private:
+    RegionMask& m_;
+    std::size_t i_;
+  };
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    return i < bits_.size() ? bits_[i] != 0 : default_;
+  }
+  void set(std::size_t i, bool v) {
+    if (i >= bits_.size()) bits_.resize(i + 1, default_ ? 1 : 0);
+    bits_[i] = v ? 1 : 0;
+  }
+  void fill(bool v) {
+    bits_.clear();
+    default_ = v;
+  }
+  [[nodiscard]] Ref operator[](std::size_t i) { return Ref(*this, i); }
+  [[nodiscard]] bool operator[](std::size_t i) const { return test(i); }
+
+ private:
+  std::vector<std::uint8_t> bits_;
+  bool default_ = true;
+};
 
 /// A region-level route. `regions` runs source .. destination inclusive;
 /// `bottleneck_mbps` is the minimum estimated edge throughput along it.
@@ -31,14 +69,13 @@ struct RegionPath {
 
 struct PathQueryOptions {
   /// Regions allowed as intermediates (src/dst are always allowed).
-  std::array<bool, cloud::kRegionCount> usable{};
+  /// Defaults to all-usable at any region count.
+  RegionMask usable;
   /// Forbid the single-hop src->dst edge (used to find the *next* path when
   /// the current best is the direct link).
   bool exclude_direct_edge = false;
   /// Edges with fewer samples than this are treated as unknown/unusable.
   std::size_t min_samples = 1;
-
-  PathQueryOptions() { usable.fill(true); }
 };
 
 /// Maximum-bottleneck path from src to dst, or nullopt when no usable route

@@ -40,6 +40,7 @@ void StreamRuntime::start() {
   started_ = true;
   running_ = true;
 
+  site_vms_.assign(provider_.topology().region_count(), std::nullopt);
   for (cloud::Region site : graph_.sites_used()) {
     site_vms_[cloud::region_index(site)] =
         provider_.provision(site, config_.site_vm).id;
@@ -137,16 +138,16 @@ void StreamRuntime::stop() {
     if (st.timer) st.timer->stop();
   }
   for (auto& b : geo_) b->flusher->stop();
-  for (cloud::Region r : cloud::kAllRegions) {
-    const auto& vm = site_vms_[cloud::region_index(r)];
+  for (const auto& vm : site_vms_) {
     if (vm) provider_.release(*vm);
   }
 }
 
 cloud::VmId StreamRuntime::site_vm(cloud::Region site) const {
-  const auto& vm = site_vms_[cloud::region_index(site)];
-  SAGE_CHECK_MSG(vm.has_value(), "no VM for that site (job does not use it)");
-  return *vm;
+  const std::size_t i = cloud::region_index(site);
+  SAGE_CHECK_MSG(i < site_vms_.size() && site_vms_[i].has_value(),
+                 "no VM for that site (job does not use it)");
+  return *site_vms_[i];
 }
 
 const SinkStats& StreamRuntime::sink_stats(VertexId sink) const {
@@ -185,9 +186,8 @@ void StreamRuntime::recycle(RecordBatch&& batch) {
 }
 
 SimDuration StreamRuntime::compute_delay(cloud::Region site, double work_units) const {
-  const auto& vm = site_vms_[cloud::region_index(site)];
-  SAGE_CHECK(vm.has_value());
-  const double cpu = provider_.is_active(*vm) ? provider_.vm_cpu_factor(*vm) : 1.0;
+  const cloud::VmId vm = site_vm(site);
+  const double cpu = provider_.is_active(vm) ? provider_.vm_cpu_factor(vm) : 1.0;
   const double spec_factor = cloud::vm_spec(config_.site_vm).compute_factor;
   return SimDuration::seconds(
       work_units / (config_.work_units_per_sec * spec_factor * std::max(cpu, 0.05)));

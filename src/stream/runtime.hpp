@@ -179,7 +179,7 @@ class StreamRuntime {
   /// Per-vertex resolved adjacency, built at start().
   std::vector<std::vector<OutEdge>> out_edges_;
   std::vector<RecordBatch> pool_;
-  std::array<std::optional<cloud::VmId>, cloud::kRegionCount> site_vms_;
+  std::vector<std::optional<cloud::VmId>> site_vms_;  // sized topology regions
   WanStats wan_;
   std::vector<VertexObs> vobs_;  // built at start(); empty when obs is off
   obs::TraceSink* tracer_ = nullptr;

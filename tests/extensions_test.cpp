@@ -23,8 +23,7 @@ constexpr Region kEUS = Region::kEastUS;
 constexpr Region kWUS = Region::kWestUS;
 
 void set_link(monitor::ThroughputMatrix& m, Region a, Region b, double mbps) {
-  m.links[cloud::region_index(a)][cloud::region_index(b)] =
-      monitor::LinkEstimate{mbps, 0.0, 10};
+  m.set(a, b, monitor::LinkEstimate{mbps, 0.0, 10});
 }
 
 // ---------------------------------------------------------------------------

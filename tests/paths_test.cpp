@@ -17,8 +17,7 @@ constexpr Region kEUS = Region::kEastUS;
 monitor::ThroughputMatrix empty_matrix() { return monitor::ThroughputMatrix{}; }
 
 void set_link(monitor::ThroughputMatrix& m, Region a, Region b, double mbps) {
-  m.links[cloud::region_index(a)][cloud::region_index(b)] =
-      monitor::LinkEstimate{mbps, 0.0, 10};
+  m.set(a, b, monitor::LinkEstimate{mbps, 0.0, 10});
 }
 
 void set_symmetric(monitor::ThroughputMatrix& m, Region a, Region b, double mbps) {
@@ -69,8 +68,7 @@ TEST(WidestPathTest, NoDataMeansNoPath) {
 
 TEST(WidestPathTest, MinSamplesGatesEdges) {
   auto m = empty_matrix();
-  m.links[cloud::region_index(kNEU)][cloud::region_index(kNUS)] =
-      monitor::LinkEstimate{10.0, 0.0, 2};
+  m.set(kNEU, kNUS, monitor::LinkEstimate{10.0, 0.0, 2});
   PathQueryOptions options;
   options.min_samples = 5;
   EXPECT_FALSE(widest_path(m, kNEU, kNUS, options).has_value());

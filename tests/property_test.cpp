@@ -205,8 +205,7 @@ TEST_P(PlannerBudgets, PlanStaysFeasible) {
   for (Region a : cloud::kAllRegions) {
     for (Region b : cloud::kAllRegions) {
       if (a == b) continue;
-      m.links[cloud::region_index(a)][cloud::region_index(b)] =
-          monitor::LinkEstimate{rng.uniform(2.0, 12.0), 0.5, 20};
+      m.set(a, b, monitor::LinkEstimate{rng.uniform(2.0, 12.0), 0.5, 20});
     }
   }
   sched::Inventory inventory;
