@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <memory>
@@ -222,17 +223,32 @@ class BenchContext {
         json_path_ = argv[++i];
       } else if (std::strncmp(arg, "--json=", 7) == 0) {
         json_path_ = arg + 7;
+      } else if (std::strcmp(arg, "--shards") == 0 && i + 1 < argc) {
+        shards_ = std::atoi(argv[++i]);
+      } else if (std::strncmp(arg, "--shards=", 9) == 0) {
+        shards_ = std::atoi(arg + 9);
       } else {
-        std::fprintf(stderr, "%s: unknown argument %s (known: --smoke, --json <path>)\n",
+        std::fprintf(stderr,
+                     "%s: unknown argument %s (known: --smoke, --json <path>, "
+                     "--shards <n>)\n",
                      argv[0], arg);
       }
     }
+    if (shards_ < 0) shards_ = 0;
     print_header(id, title);
   }
 
   /// Reduced-grid mode for the CI smoke job.
   [[nodiscard]] bool smoke() const { return smoke_; }
   [[nodiscard]] int threads() const { return runner_.threads(); }
+
+  /// Region-shard count for benches with a sharded execution mode: --shards
+  /// wins, then SAGE_PAR_SHARDS, else 0 = sharded execution off (default —
+  /// the plain single-engine path runs and stdout matches historical output
+  /// byte for byte).
+  [[nodiscard]] int shards() const {
+    return shards_ > 0 ? shards_ : harness::env_shards();
+  }
 
   /// Run `fn` over the grid on the scenario pool; results come back in
   /// task order (see harness::ScenarioRunner).
@@ -255,6 +271,7 @@ class BenchContext {
   std::string slug_;
   std::string json_path_;
   bool smoke_ = false;
+  int shards_ = 0;
   harness::ScenarioRunner runner_;
 };
 

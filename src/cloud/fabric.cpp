@@ -11,13 +11,18 @@
 namespace sage::cloud {
 
 Fabric::Fabric(sim::SimEngine& engine, Topology topology, std::uint64_t seed)
+    : Fabric(engine, std::make_shared<const Topology>(std::move(topology)), seed) {}
+
+Fabric::Fabric(sim::SimEngine& engine, std::shared_ptr<const Topology> topology,
+               std::uint64_t seed)
     : engine_(engine),
       topology_(std::move(topology)),
-      wan_links_(topology_.edges().size()),
+      wan_links_(topology_->edges().size()),
       rng_(seed) {
+  SAGE_CHECK(topology_ != nullptr);
   pair_models_.resize(wan_links_);
   pair_live_.assign(wan_links_, 0u);
-  egress_.assign(topology_.region_count(), Bytes::zero());
+  egress_.assign(topology_->region_count(), Bytes::zero());
   link_flows_.resize(wan_links_);
   link_avail_.resize(wan_links_, 0.0);
   link_cap0_.resize(wan_links_, 0.0);
@@ -56,7 +61,7 @@ obs::Counter* Fabric::link_bytes_cell(std::size_t pair) {
   obs::Counter*& cell = obs_->link_bytes[pair];
   if (cell == nullptr) {
     cell = engine_.obs()->metrics().counter(
-        "fabric.link.bytes", {{"link", edge_label(topology_.edges()[pair])}});
+        "fabric.link.bytes", {{"link", edge_label(topology_->edges()[pair])}});
   }
   return cell;
 }
@@ -65,7 +70,7 @@ obs::Gauge* Fabric::link_util_cell(std::size_t pair) {
   obs::Gauge*& cell = obs_->link_util[pair];
   if (cell == nullptr) {
     cell = engine_.obs()->metrics().gauge(
-        "fabric.link.utilization", {{"link", edge_label(topology_.edges()[pair])}});
+        "fabric.link.utilization", {{"link", edge_label(topology_->edges()[pair])}});
   }
   return cell;
 }
@@ -142,7 +147,7 @@ ByteRate Fabric::link_capacity_now(std::size_t link) {
   if (link < wan_links_) {
     auto& model = pair_models_[link];
     if (!model) {
-      const PairLinkSpec& spec = topology_.edges()[link].spec;
+      const PairLinkSpec& spec = topology_->edges()[link].spec;
       model.emplace(spec.capacity, spec.variability, rng_.fork());
     }
     return model->capacity_at(engine_.now());
@@ -151,7 +156,7 @@ ByteRate Fabric::link_capacity_now(std::size_t link) {
   const NodeId node = static_cast<NodeId>(rel / 2);
   const ByteRate nominal = (rel % 2 == 0) ? node_up_[node] : node_down_[node];
   // Stable topologies (zero intra-DC noise) keep NICs analytic for tests.
-  if (topology_.link(nodes_[node].region, nodes_[node].region).variability.noise_sigma <=
+  if (topology_->link(nodes_[node].region, nodes_[node].region).variability.noise_sigma <=
       0.0) {
     return nominal;
   }
@@ -170,7 +175,7 @@ ByteRate Fabric::pair_capacity_now(Region a, Region b) {
 }
 
 std::size_t Fabric::pair_link(Region a, Region b) const {
-  const LinkSlot link = topology_.edge_index(a, b);
+  const LinkSlot link = topology_->edge_index(a, b);
   SAGE_CHECK_MSG(link != kNoLink,
                  "fabric: topology declares no link between those regions");
   return static_cast<std::size_t>(link);
@@ -186,7 +191,7 @@ FlowId Fabric::start_flow(NodeId src, NodeId dst, Bytes size, FlowOptions option
   const FlowId id = next_flow_id_++;
   const Region ra = nodes_[src].region;
   const Region rb = nodes_[dst].region;
-  const PairLinkSpec& spec = topology_.link(ra, rb);
+  const PairLinkSpec& spec = topology_->link(ra, rb);
 
   if (nodes_[src].failed || nodes_[dst].failed) {
     if (obs_) obs_->flows_rejected->add();

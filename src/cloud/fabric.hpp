@@ -79,6 +79,12 @@ class Fabric {
   using CompletionFn = std::function<void(const FlowResult&)>;
 
   Fabric(sim::SimEngine& engine, Topology topology, std::uint64_t seed);
+  /// Shared-topology variant for sharded worlds: S per-shard fabrics index
+  /// one immutable topology instead of holding S copies. The topology is
+  /// read-only for the fabric's whole lifetime, so concurrent lanes may
+  /// share it freely.
+  Fabric(sim::SimEngine& engine, std::shared_ptr<const Topology> topology,
+         std::uint64_t seed);
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
@@ -109,8 +115,8 @@ class Fabric {
 
   // -- Observability -------------------------------------------------------
 
-  [[nodiscard]] const Topology& topology() const { return topology_; }
-  [[nodiscard]] SimDuration rtt(Region a, Region b) const { return topology_.rtt(a, b); }
+  [[nodiscard]] const Topology& topology() const { return *topology_; }
+  [[nodiscard]] SimDuration rtt(Region a, Region b) const { return topology_->rtt(a, b); }
 
   /// Current (time-evolved) aggregate capacity of the region-pair link.
   /// Used by oracle baselines and tests, not by SAGE itself (which must
@@ -130,7 +136,7 @@ class Fabric {
   /// an edge-id lookup plus the per-link flow counter. The monitoring layer
   /// uses this to suspend probes on busy links. Zero for undeclared pairs.
   [[nodiscard]] std::size_t pair_flow_count(Region a, Region b) const {
-    const LinkSlot link = topology_.edge_index(a, b);
+    const LinkSlot link = topology_->edge_index(a, b);
     return link == kNoLink ? 0 : pair_live_[static_cast<std::size_t>(link)];
   }
 
@@ -250,8 +256,10 @@ class Fabric {
   obs::Gauge* link_util_cell(std::size_t pair);
 
   sim::SimEngine& engine_;
-  Topology topology_;
-  std::size_t wan_links_ = 0;  // topology_.edges().size(); node links follow
+  // Immutable for the fabric's lifetime; shared across per-shard fabrics in
+  // sharded worlds (the value ctor wraps its copy in a shared_ptr).
+  std::shared_ptr<const Topology> topology_;
+  std::size_t wan_links_ = 0;  // topology_->edges().size(); node links follow
   Rng rng_;
   SimDuration refresh_period_ = SimDuration::millis(500);
 

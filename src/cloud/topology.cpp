@@ -308,4 +308,32 @@ Topology hub_and_spoke(std::size_t regions, bool stable) {
   return b.build();
 }
 
+ShardPlan plan_shards(const Topology& topo, std::size_t shards) {
+  const std::size_t n = topo.region_count();
+  SAGE_CHECK_MSG(n >= 1, "cannot shard an empty topology");
+  ShardPlan plan;
+  plan.shards = std::min(std::max<std::size_t>(shards, 1), n);
+  plan.shard_of.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Contiguous blocks, never-empty by construction (i*S/N is surjective
+    // onto [0,S) when S <= N); mirrors ring_of_continents' continent_of_site
+    // so shard cuts land on continent boundaries when S divides C.
+    plan.shard_of[i] = static_cast<std::uint32_t>(i * plan.shards / n);
+  }
+  plan.lookahead = SimDuration::max();
+  for (const Topology::Edge& e : topo.edges()) {
+    if (plan.shard(e.src) == plan.shard(e.dst)) continue;
+    if (e.spec.latency < plan.lookahead) plan.lookahead = e.spec.latency;
+  }
+  return plan;
+}
+
+std::vector<std::uint32_t> edge_owners(const Topology& topo, const ShardPlan& plan) {
+  SAGE_CHECK(plan.shard_of.size() == topo.region_count());
+  std::vector<std::uint32_t> owners;
+  owners.reserve(topo.edges().size());
+  for (const Topology::Edge& e : topo.edges()) owners.push_back(plan.shard(e.src));
+  return owners;
+}
+
 }  // namespace sage::cloud

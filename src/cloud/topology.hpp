@@ -176,4 +176,46 @@ class TopologyBuilder {
 /// the hub via the planner's adjacency paths.
 [[nodiscard]] Topology hub_and_spoke(std::size_t regions, bool stable = false);
 
+// -- Shard planning ---------------------------------------------------------
+
+/// Partition of a topology's regions across S event-execution shards plus
+/// the conservative lookahead horizon between them. Regions are assigned in
+/// contiguous index blocks (shard_of[i] = i*S/N), which aligns shard
+/// boundaries with the contiguous continent blocks of ring_of_continents
+/// whenever S divides the continent count — cross-shard edges are then
+/// exactly the high-latency gateway ring, maximizing the lookahead window.
+struct ShardPlan {
+  std::size_t shards = 1;
+  /// Shard of each region, indexed by region_index(). Values in [0, shards).
+  std::vector<std::uint32_t> shard_of;
+  /// Minimum one-way latency over declared edges whose endpoints live on
+  /// different shards: no cross-shard event can arrive sooner, so a shard
+  /// may safely run this far ahead of its peers (the null-message insight).
+  /// SimDuration::max() when no edge crosses shards (shards are fully
+  /// independent); zero when some cross-shard edge has no latency, in which
+  /// case the window degenerates and execution must fall back to sequential.
+  SimDuration lookahead = SimDuration::zero();
+
+  [[nodiscard]] std::uint32_t shard(Region r) const {
+    return shard_of[region_index(r)];
+  }
+  /// True when parallel windows cannot make progress (lookahead <= 0 with
+  /// more than one shard). The sharded engine then runs one merged lane.
+  [[nodiscard]] bool degenerate() const {
+    return shards > 1 && lookahead <= SimDuration::zero();
+  }
+};
+
+/// Plan a partition of `topo` across `shards` shards (clamped to
+/// [1, region_count]); computes the conservative lookahead from declared
+/// edge latencies. Deterministic: same topology + shard count, same plan.
+[[nodiscard]] ShardPlan plan_shards(const Topology& topo, std::size_t shards);
+
+/// Owning shard of each declared edge, indexed by dense link id. An edge is
+/// owned by the shard of its *source* region, so all flows of a directed
+/// pair settle inside one shard's fabric regardless of where the payload
+/// terminates.
+[[nodiscard]] std::vector<std::uint32_t> edge_owners(const Topology& topo,
+                                                     const ShardPlan& plan);
+
 }  // namespace sage::cloud

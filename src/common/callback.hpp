@@ -1,0 +1,125 @@
+// Small-buffer-optimized move-only callable for the simulation hot path.
+//
+// Every scheduled event carries a type-erased callback. std::function is the
+// obvious spelling but has two costs on this path: (a) libstdc++ only stores
+// captures inline when they are trivially copyable and <= 16 bytes, so the
+// common three-capture lambdas of the transfer and stream layers heap-allocate
+// per event — the last per-event allocation left after the PR 1 slab rework,
+// and one that a region-sharded engine multiplies by the shard count; (b)
+// std::function requires copyable targets, so a callback owning a moved-in
+// resource (unique_ptr payloads, drained batches) cannot be scheduled at all.
+//
+// InlineCallback stores any nothrow-move-constructible callable of up to
+// kInlineSize bytes in place and heap-allocates only past that; targets may
+// be move-only. Invocation is two loads and an indirect call, same as
+// std::function's happy path.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sage {
+
+class InlineCallback {
+ public:
+  /// Inline capture budget. 48 bytes holds e.g. a captured std::function
+  /// completion handler plus two ids — the fattest callback the fabric
+  /// schedules — while keeping the event slab slot at one cache line.
+  static constexpr std::size_t kInlineSize = 48;
+
+  InlineCallback() = default;
+  InlineCallback(std::nullptr_t) {}  // NOLINT: mirror std::function
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineCallback(F&& f) {  // NOLINT: mirror std::function's converting ctor
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      invoke_ = [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); };
+      relocate_ = [](void* dst, void* src) noexcept {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      };
+      destroy_ = [](void* s) { std::launder(reinterpret_cast<D*>(s))->~D(); };
+      inline_flag_ = true;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      invoke_ = [](void* s) { (**std::launder(reinterpret_cast<D**>(s)))(); };
+      relocate_ = [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      };
+      destroy_ = [](void* s) { delete *std::launder(reinterpret_cast<D**>(s)); };
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { move_from(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineCallback& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  void operator()() { invoke_(storage_); }
+
+  [[nodiscard]] explicit operator bool() const { return invoke_ != nullptr; }
+  friend bool operator==(const InlineCallback& c, std::nullptr_t) { return !c; }
+  friend bool operator!=(const InlineCallback& c, std::nullptr_t) {
+    return static_cast<bool>(c);
+  }
+
+  /// True when the target lives in the inline buffer (test/measurement hook).
+  [[nodiscard]] bool is_inline() const { return invoke_ != nullptr && inline_flag_; }
+
+  void reset() {
+    if (destroy_ != nullptr) destroy_(storage_);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+    destroy_ = nullptr;
+    inline_flag_ = false;
+  }
+
+ private:
+  // The relocate thunk distinguishes inline targets (move + destroy the
+  // source object) from heap targets (copy the owning pointer).
+  void move_from(InlineCallback& other) noexcept {
+    if (other.invoke_ == nullptr) return;
+    other.relocate_(storage_, other.storage_);
+    invoke_ = other.invoke_;
+    relocate_ = other.relocate_;
+    destroy_ = other.destroy_;
+    inline_flag_ = other.inline_flag_;
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+    other.destroy_ = nullptr;
+    other.inline_flag_ = false;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize]{};
+  void (*invoke_)(void*) = nullptr;
+  void (*relocate_)(void* dst, void* src) noexcept = nullptr;
+  void (*destroy_)(void*) = nullptr;
+  bool inline_flag_ = false;
+};
+
+}  // namespace sage

@@ -16,8 +16,9 @@ thread_local const ThreadPool* g_current_pool = nullptr;
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = 1;
   workers_.reserve(threads);
+  region_done_gen_.assign(threads, 0);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -56,13 +57,61 @@ void ThreadPool::wait_idle() {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::run_on_all_workers(const std::function<void(std::size_t)>& fn) {
+  if (on_worker_thread()) {
+    throw std::logic_error(
+        "ThreadPool::run_on_all_workers called from one of the pool's own "
+        "workers; the calling worker could never run its own slice");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (region_fn_ != nullptr) {
+    throw std::logic_error(
+        "ThreadPool::run_on_all_workers called while another all-workers "
+        "region is in flight");
+  }
+  region_fn_ = &fn;
+  ++region_gen_;
+  region_remaining_ = workers_.size();
+  work_ready_.notify_all();
+  // The barrier completes even if invocations throw: every worker runs its
+  // slice (or records the error) before region_remaining_ reaches zero, so
+  // the pool is quiescent when the first error is rethrown below.
+  region_done_.wait(lock, [this] { return region_remaining_ == 0; });
+  region_fn_ = nullptr;
+  if (region_error_) {
+    std::exception_ptr err = std::exchange(region_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
   g_current_pool = this;
   for (;;) {
     Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      work_ready_.wait(lock, [this, index] {
+        return stopping_ || !queue_.empty() ||
+               (region_fn_ != nullptr && region_done_gen_[index] < region_gen_);
+      });
+      // A pending all-workers region outranks the FIFO queue: the barrier
+      // caller is blocked until every worker has run its slice, so letting a
+      // deep backlog starve it would stall lock-step callers indefinitely.
+      if (region_fn_ != nullptr && region_done_gen_[index] < region_gen_) {
+        const std::function<void(std::size_t)>* fn = region_fn_;
+        region_done_gen_[index] = region_gen_;
+        lock.unlock();
+        try {
+          (*fn)(index);
+        } catch (...) {
+          std::lock_guard<std::mutex> relock(mu_);
+          if (!region_error_) region_error_ = std::current_exception();
+        }
+        lock.lock();
+        if (--region_remaining_ == 0) region_done_.notify_all();
+        continue;
+      }
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();

@@ -20,10 +20,20 @@
 // pool (all workers could block waiting for queued work no one is free to
 // run); rejecting at submission makes the deadlock impossible instead of
 // merely unlikely.
+//
+// run_on_all_workers() is the one structured exception to plain FIFO
+// draining: it runs a callable exactly once on every worker (with the
+// worker's index) and blocks the caller until all copies return. The
+// sharded simulation engine uses it as a lock-step window barrier — each
+// worker advances its assigned event lanes, and the coordinator resumes
+// only when every lane has reached the window end. Workers prefer a
+// pending all-workers region over the FIFO queue so a barrier cannot be
+// starved by a deep backlog.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -53,19 +63,36 @@ class ThreadPool {
   /// stashed task exception, if any.
   void wait_idle();
 
+  /// Run `fn(worker_index)` exactly once on each worker thread, concurrently,
+  /// and block until every invocation has returned. The first exception any
+  /// invocation throws is rethrown here (after the barrier completes, so the
+  /// pool is always left quiescent). Throws std::logic_error when called from
+  /// one of this pool's own workers — the calling worker could never run its
+  /// own slice — or while another all-workers region is in flight.
+  void run_on_all_workers(const std::function<void(std::size_t)>& fn);
+
   /// True when the calling thread is a worker of this pool.
   [[nodiscard]] bool on_worker_thread() const;
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable all_done_;
+  std::condition_variable region_done_;
   std::deque<Task> queue_;
   std::size_t in_flight_ = 0;  // queued + currently executing
   bool stopping_ = false;
   std::exception_ptr first_error_;
+  // All-workers region state: a generation counter tells each worker whether
+  // it has run the current region yet; the coordinator waits until
+  // region_remaining_ hits zero.
+  const std::function<void(std::size_t)>* region_fn_ = nullptr;
+  std::uint64_t region_gen_ = 0;
+  std::vector<std::uint64_t> region_done_gen_;
+  std::size_t region_remaining_ = 0;
+  std::exception_ptr region_error_;
   std::vector<std::thread> workers_;
 };
 

@@ -8,7 +8,7 @@ namespace sage::core {
 std::string IntrospectionReport::render() const {
   return "== Link service levels ==\n" + link_service_levels +
          "\n== Compute health ==\n" + compute_health + "\n== Bill ==\n" + bill +
-         "\n== Decision audit ==\n" + decision_audit;
+         "\n== Decision audit ==\n" + decision_audit + "\n== Runtime ==\n" + runtime;
 }
 
 IntrospectionReport introspect(SageEngine& engine) {
@@ -74,6 +74,15 @@ IntrospectionReport introspect(SageEngine& engine) {
     }
     report.decision_audit =
         t.row_count() > 0 ? t.render() : std::string("(no transfers yet)\n");
+  }
+
+  {
+    const SageEngine::RuntimeStats s = engine.runtime_stats();
+    TextTable t({"Virtual clock", "Scheduled", "Fired", "Cancelled", "Live"});
+    t.add_row({TextTable::num(s.now.to_seconds(), 3) + " s",
+               std::to_string(s.events_scheduled), std::to_string(s.events_fired),
+               std::to_string(s.events_cancelled), std::to_string(s.events_live)});
+    report.runtime = t.render();
   }
   return report;
 }

@@ -26,6 +26,10 @@ struct IntrospectionReport {
   /// Decision audit: per-transfer predicted vs achieved time, lanes used,
   /// replans, delivery stats.
   std::string decision_audit;
+  /// Event-loop accounting (virtual clock, scheduled/fired/cancelled/live
+  /// event counts) — identical fields whether the deployment runs on the
+  /// plain engine or aggregated over a sharded engine's lanes.
+  std::string runtime;
 
   /// All sections concatenated, ready to print.
   [[nodiscard]] std::string render() const;

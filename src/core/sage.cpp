@@ -204,6 +204,16 @@ void SageEngine::send_with(const model::Tradeoff& tradeoff, cloud::Region src,
   live_.push_back(std::move(live));
 }
 
+SageEngine::RuntimeStats SageEngine::runtime_stats() const {
+  RuntimeStats s;
+  s.now = engine_.now();
+  s.events_scheduled = engine_.events_scheduled();
+  s.events_fired = engine_.events_fired();
+  s.events_cancelled = engine_.events_cancelled();
+  s.events_live = engine_.live_events();
+  return s;
+}
+
 std::size_t SageEngine::replan_sweep() {
   reap();
   if (live_.empty()) {

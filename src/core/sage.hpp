@@ -147,6 +147,20 @@ class SageEngine final : public stream::TransferBackend {
   std::size_t replan_sweep();
 
   // -- Introspection ---------------------------------------------------------
+
+  /// Event-loop accounting for the introspection report. The fields mirror
+  /// SimEngine's counter surface exactly — sim::ShardedSimEngine exposes the
+  /// same aggregates summed over its lanes, so a sharded deployment reports
+  /// through this struct unchanged.
+  struct RuntimeStats {
+    SimTime now;
+    std::uint64_t events_scheduled = 0;
+    std::uint64_t events_fired = 0;
+    std::uint64_t events_cancelled = 0;
+    std::size_t events_live = 0;
+  };
+  [[nodiscard]] RuntimeStats runtime_stats() const;
+
   [[nodiscard]] monitor::MonitoringService& monitoring() { return *monitoring_; }
   [[nodiscard]] const model::CostModel& cost_model() const { return cost_model_; }
   [[nodiscard]] const sched::MultiPathPlanner& planner() const { return planner_; }

@@ -43,6 +43,13 @@ namespace sage::harness {
 /// positive integer, otherwise std::thread::hardware_concurrency().
 int env_threads();
 
+/// Intra-scenario shard count for the region-sharded engine:
+/// SAGE_PAR_SHARDS when set to a positive integer, otherwise 0 (sharded
+/// execution off — every existing figure bench runs the plain engine and
+/// stays byte-identical). Benches also accept --shards, which wins over
+/// the environment (see bench_util.hpp).
+int env_shards();
+
 /// Registry collecting observability metrics for the grid point currently
 /// executing on this thread, or null outside a sweep task. Worlds merge
 /// their per-engine registries into it at teardown; the snapshot lands in

@@ -118,6 +118,19 @@ std::uint64_t SimEngine::run_until(SimTime t) {
 
 bool SimEngine::step() { return fire_next(); }
 
+bool SimEngine::peek_next_time(SimTime* t) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (!live(top.slot, top.gen)) {
+      queue_.pop();
+      continue;
+    }
+    if (t != nullptr) *t = top.at;
+    return true;
+  }
+  return false;
+}
+
 PeriodicTask::PeriodicTask(SimEngine& engine, SimDuration interval, SimEngine::Callback fn)
     : engine_(engine), interval_(interval), fn_(std::move(fn)) {
   SAGE_CHECK(interval_ > SimDuration::zero());

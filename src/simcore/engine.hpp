@@ -16,11 +16,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <queue>
 #include <vector>
 
+#include "common/callback.hpp"
 #include "common/units.hpp"
 
 namespace sage::obs {
@@ -55,7 +55,10 @@ class EventHandle {
 
 class SimEngine {
  public:
-  using Callback = std::function<void()>;
+  // Small-buffer-optimized and move-only (common/callback.hpp): the typical
+  // fabric/stream lambda fits the 48-byte inline buffer, so scheduling makes
+  // no heap allocation, and callbacks may own move-only state.
+  using Callback = InlineCallback;
 
   SimEngine();
   ~SimEngine();
@@ -78,6 +81,11 @@ class SimEngine {
 
   /// Fire exactly one event if any is pending. Returns false on empty queue.
   bool step();
+
+  /// Timestamp of the earliest live event, pruning cancelled husks from the
+  /// top of the heap on the way. Returns false when no live event is pending.
+  /// The sharded coordinator uses this to pick each lock-step window start.
+  bool peek_next_time(SimTime* t);
 
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }

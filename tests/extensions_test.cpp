@@ -313,6 +313,16 @@ TEST(IntrospectionTest, ReportContainsAllSections) {
   const std::string all = report.render();
   EXPECT_NE(all.find("== Link service levels =="), std::string::npos);
   EXPECT_NE(all.find("== Decision audit =="), std::string::npos);
+  EXPECT_NE(all.find("== Runtime =="), std::string::npos);
+
+  // The runtime section reflects the engine's live accounting, and the
+  // conservation identity scheduled == fired + cancelled + live holds at
+  // any quiescent point.
+  const core::SageEngine::RuntimeStats s = engine.runtime_stats();
+  EXPECT_EQ(s.now, world.engine.now());
+  EXPECT_GT(s.events_fired, 0u);
+  EXPECT_EQ(s.events_scheduled, s.events_fired + s.events_cancelled + s.events_live);
+  EXPECT_NE(report.runtime.find(std::to_string(s.events_fired)), std::string::npos);
 }
 
 TEST(IntrospectionTest, EmptyHistoryRendersGracefully) {

@@ -3,12 +3,105 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/callback.hpp"
 #include "common/check.hpp"
 
 namespace sage::sim {
 namespace {
+
+// -- InlineCallback (the SimEngine::Callback type) ---------------------------
+
+TEST(InlineCallbackTest, DefaultIsEmptyAndComparesToNullptr) {
+  InlineCallback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+  EXPECT_TRUE(cb == nullptr);
+  EXPECT_FALSE(cb != nullptr);
+  EXPECT_FALSE(cb.is_inline());
+}
+
+TEST(InlineCallbackTest, SmallCapturesStayInline) {
+  int hits = 0;
+  InlineCallback cb([&hits] { ++hits; });
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallbackTest, OversizedCapturesSpillToHeapAndStillRun) {
+  std::array<long, 16> big{};  // 128 bytes of capture > kInlineSize
+  big[7] = 42;
+  long seen = 0;
+  InlineCallback cb([big, &seen] { seen = big[7]; });
+  static_assert(sizeof(big) > InlineCallback::kInlineSize);
+  EXPECT_FALSE(cb.is_inline());
+  cb();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(InlineCallbackTest, MoveTransfersTargetAndEmptiesSource) {
+  int hits = 0;
+  InlineCallback a([&hits] { ++hits; });
+  InlineCallback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT: post-move state is specified
+  EXPECT_FALSE(a.is_inline());
+  ASSERT_TRUE(static_cast<bool>(b));
+  EXPECT_TRUE(b.is_inline());
+  b();
+  EXPECT_EQ(hits, 1);
+
+  InlineCallback c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallbackTest, MoveOnlyCapturesAreSchedulable) {
+  // The whole point of dropping std::function: a callback owning a moved-in
+  // unique_ptr payload can be scheduled directly.
+  auto payload = std::make_unique<int>(7);
+  int seen = 0;
+  InlineCallback cb([p = std::move(payload), &seen] { seen = *p; });
+  cb();
+  EXPECT_EQ(seen, 7);
+
+  SimEngine engine;
+  auto p2 = std::make_unique<int>(11);
+  engine.schedule_after(SimDuration::seconds(1), [p = std::move(p2), &seen] {
+    seen = *p;
+  });
+  engine.run();
+  EXPECT_EQ(seen, 11);
+}
+
+TEST(InlineCallbackTest, ResetAndNullAssignDestroyTheCapture) {
+  auto counter = std::make_shared<int>(0);
+  struct Probe {
+    std::shared_ptr<int> c;
+    ~Probe() {
+      if (c) ++*c;
+    }
+    Probe(std::shared_ptr<int> c) : c(std::move(c)) {}
+    Probe(Probe&&) noexcept = default;
+    void operator()() {}
+  };
+  {
+    InlineCallback cb{Probe{counter}};
+    EXPECT_EQ(*counter, 0);  // moved-from temporary's husk holds no pointer
+    cb.reset();
+    EXPECT_EQ(*counter, 1) << "reset must run the capture's destructor";
+    EXPECT_TRUE(cb == nullptr);
+  }
+  InlineCallback cb2{Probe{counter}};
+  cb2 = nullptr;
+  EXPECT_EQ(*counter, 2);
+  EXPECT_EQ(counter.use_count(), 1) << "no leaked capture copies";
+}
 
 TEST(SimEngineTest, FiresInTimestampOrder) {
   SimEngine engine;

@@ -84,6 +84,78 @@ TEST(ThreadPool, OnWorkerThreadIdentifiesItsOwnWorkers) {
   EXPECT_TRUE(inside.load());
 }
 
+TEST(ThreadPool, RunOnAllWorkersRunsExactlyOncePerWorker) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run_on_all_workers([&hits](std::size_t w) {
+    ASSERT_LT(w, 4u);
+    hits[w].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // The barrier is reusable.
+  pool.run_on_all_workers(
+      [&hits](std::size_t w) { hits[w].fetch_add(1, std::memory_order_relaxed); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 2);
+}
+
+TEST(ThreadPool, RunOnAllWorkersPropagatesFirstException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.run_on_all_workers([](std::size_t w) {
+    if (w == 0) throw std::runtime_error("worker 0 boom");
+  }),
+               std::runtime_error);
+  // The pool stays usable after rethrow.
+  std::atomic<int> ran{0};
+  pool.run_on_all_workers(
+      [&ran](std::size_t) { ran.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, RunOnAllWorkersFromOwnWorkerIsRejected) {
+  ThreadPool pool(2);
+  std::atomic<bool> threw{false};
+  pool.submit([&pool, &threw] {
+    try {
+      pool.run_on_all_workers([](std::size_t) {});
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  pool.wait_idle();
+  EXPECT_TRUE(threw.load()) << "a worker can never run its own barrier slice";
+}
+
+// Regression for the nested-submit guard: the all-workers region does not
+// loosen it — submit() from inside a region slice is still rejected, because
+// the slice runs on this pool's own worker.
+TEST(ThreadPool, SubmitFromAllWorkersRegionIsStillRejected) {
+  ThreadPool pool(2);
+  std::atomic<int> rejected{0};
+  pool.run_on_all_workers([&pool, &rejected](std::size_t) {
+    try {
+      pool.submit([] {});
+    } catch (const std::logic_error&) {
+      rejected.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(rejected.load(), 2);
+}
+
+TEST(ThreadPool, RunOnAllWorkersCompletesAlongsideQueuedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  // The barrier outranks the backlog; both finish.
+  std::atomic<int> region{0};
+  pool.run_on_all_workers(
+      [&region](std::size_t) { region.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_EQ(region.load(), 2);
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 64);
+}
+
 TEST(ScenarioRunner, ResultsComeBackInTaskOrder) {
   harness::ScenarioRunner runner(/*threads=*/4);
   std::vector<int> tasks(64);
@@ -151,6 +223,16 @@ TEST(ScenarioRunner, EnvThreadsParsesOverride) {
   EXPECT_GE(harness::env_threads(), 1);  // falls back to hardware concurrency
   ASSERT_EQ(unsetenv("SAGE_BENCH_THREADS"), 0);
   EXPECT_GE(harness::env_threads(), 1);
+}
+
+TEST(ScenarioRunner, EnvShardsDefaultsToOff) {
+  ASSERT_EQ(unsetenv("SAGE_PAR_SHARDS"), 0);
+  EXPECT_EQ(harness::env_shards(), 0) << "sharded execution must be opt-in";
+  ASSERT_EQ(setenv("SAGE_PAR_SHARDS", "4", 1), 0);
+  EXPECT_EQ(harness::env_shards(), 4);
+  ASSERT_EQ(setenv("SAGE_PAR_SHARDS", "bogus", 1), 0);
+  EXPECT_EQ(harness::env_shards(), 0);  // invalid values fall back to off
+  ASSERT_EQ(unsetenv("SAGE_PAR_SHARDS"), 0);
 }
 
 }  // namespace
