@@ -87,6 +87,9 @@ void run(BenchContext& ctx) {
   }
   const auto times = ctx.sweep("abrain", grid, [](const Cell& c) {
     const auto params = scenario(c.scale->file_size, c.scale->files);
+    // Each staged file is one "record" for the harness throughput figure.
+    harness::report_task_records(static_cast<std::uint64_t>(params.files_per_site) *
+                                 params.sites.size());
     return c.sage ? run_sage(params, /*seed=*/10) : run_blob(params, /*seed=*/10);
   });
 

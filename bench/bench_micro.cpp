@@ -5,6 +5,8 @@
 // than the transfers it steers.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "cloud/fabric.hpp"
 #include "cloud/provider.hpp"
 #include "cloud/topology.hpp"
@@ -214,21 +216,15 @@ stream::RecordBatch chain_input(std::size_t n) {
 }
 
 std::vector<std::shared_ptr<stream::Operator>> chain_ops() {
-  using stream::Record;
+  // Field-typed factories: each stage lowers to a single-column SoA kernel
+  // (value map / value filter / key filter) next to its scalar twin.
   std::vector<std::shared_ptr<stream::Operator>> ops;
-  ops.push_back(stream::make_map("scale", [](const Record& r) {
-    Record o = r;
-    o.value = r.value * 1.5 + 0.25;
-    return o;
-  }));
-  ops.push_back(stream::make_filter("pos", [](const Record& r) { return r.value > -1.0; }));
-  ops.push_back(stream::make_map("clamp", [](const Record& r) {
-    Record o = r;
-    o.value = r.value > 1.0 ? 1.0 : r.value;
-    return o;
-  }));
+  ops.push_back(stream::make_value_map("scale", [](double v) { return v * 1.5 + 0.25; }));
+  ops.push_back(stream::make_value_filter("pos", [](double v) { return v > -1.0; }));
   ops.push_back(
-      stream::make_filter("mod", [](const Record& r) { return r.key % 10 != 0; }));
+      stream::make_value_map("clamp", [](double v) { return v > 1.0 ? 1.0 : v; }));
+  ops.push_back(
+      stream::make_key_filter("mod", [](std::uint64_t k) { return k % 10 != 0; }));
   return ops;
 }
 
@@ -303,6 +299,57 @@ void BM_KeyedAggregate(benchmark::State& state) {
 }
 BENCHMARK(BM_KeyedAggregate)->Arg(1 << 10)->Arg(1 << 16);
 
+void BM_KeyedAggregateAoS(benchmark::State& state) {
+  // Array-of-structs reference for BM_KeyedAggregate: the identical keyed
+  // update loop over std::vector<Record> batches (the pre-SoA layout, 32-byte
+  // stride). The delta against BM_KeyedAggregate is the columnar gather win.
+  struct KeyState {
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::uint64_t count = 0;
+    SimTime oldest_event;
+  };
+  const auto keys = static_cast<std::uint64_t>(state.range(0));
+  FlatMap<KeyState> agg;
+  constexpr std::size_t kBatch = 1024;
+  std::vector<std::vector<stream::Record>> batches;
+  Rng rng(3);
+  for (int b = 0; b < 64; ++b) {
+    std::vector<stream::Record> in;
+    in.reserve(kBatch);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      stream::Record r;
+      r.key = static_cast<std::uint64_t>(rng.uniform_int(0, static_cast<std::int64_t>(keys) - 1));
+      r.value = rng.uniform(0.0, 1.0);
+      in.push_back(r);
+    }
+    batches.push_back(std::move(in));
+  }
+  std::size_t b = 0;
+  for (auto _ : state) {
+    for (const stream::Record& r : batches[b]) {
+      auto [s, inserted] = agg.find_or_insert(r.key);
+      if (inserted) {
+        s->min = s->max = r.value;
+        s->oldest_event = r.event_time;
+      } else {
+        s->min = std::min(s->min, r.value);
+        s->max = std::max(s->max, r.value);
+        if (r.event_time < s->oldest_event) s->oldest_event = r.event_time;
+      }
+      s->sum += r.value;
+      ++s->count;
+    }
+    if (++b == batches.size()) {
+      b = 0;
+      agg.clear();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kBatch));
+}
+BENCHMARK(BM_KeyedAggregateAoS)->Arg(1 << 10)->Arg(1 << 16);
+
 void BM_FusedChain(benchmark::State& state) {
   // The stateless map/filter chain over one 4096-record batch: per-vertex
   // execution with intermediate batch materialization (arg 0) vs the fused
@@ -337,6 +384,47 @@ void BM_FusedChain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(in.size()));
 }
 BENCHMARK(BM_FusedChain)->Arg(0)->Arg(1);
+
+void BM_FusedChainSoA(benchmark::State& state) {
+  // The fused chain's two execution paths over one 4096-record batch:
+  // scalar row-at-a-time passes (arg 0) vs column-wise SoA kernels (arg 1).
+  // Same stages, same survivors — the delta is pure execution-path speed.
+  const bool kernels = state.range(0) != 0;
+  std::vector<stream::StatelessStage> stages;
+  for (const auto& op : chain_ops()) {
+    const bool ok = op->collect_stages(stages);
+    SAGE_CHECK(ok);
+  }
+  const stream::FusedStatelessChain chain("fused", std::move(stages));
+  const stream::RecordBatch in = chain_input(4096);
+  for (auto _ : state) {
+    stream::RecordBatch cur = in;
+    for (std::size_t s = 0; s < chain.stage_count() && !cur.empty(); ++s) {
+      chain.apply_stage(s, cur, kernels);
+    }
+    benchmark::DoNotOptimize(cur.size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(in.size()));
+}
+BENCHMARK(BM_FusedChainSoA)->Arg(0)->Arg(1);
+
+void BM_BatchTranspose(benchmark::State& state) {
+  // Row gather/scatter round trip across the columnar batch: materialize
+  // every row as a Record and scatter it back. Bounds the per-record cost a
+  // row-oriented operator pays for the SoA layout.
+  stream::RecordBatch batch = chain_input(4096);
+  for (auto _ : state) {
+    const std::size_t n = batch.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      stream::Record r = batch.row(i);
+      r.value += 1.0;
+      batch.set_row(i, r);
+    }
+    benchmark::DoNotOptimize(batch.values().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_BatchTranspose);
 
 monitor::ThroughputMatrix bench_matrix() {
   monitor::ThroughputMatrix m;

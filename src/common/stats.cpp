@@ -55,6 +55,42 @@ void Ewma::add(double x) {
   }
 }
 
+namespace {
+
+// At most a handful of large spares per thread: big enough to cover the
+// sink + harness sample sets alive at once, small enough that the retained
+// memory stays bounded (a few multi-MB buffers). Tiny buffers are not worth
+// pooling — the heap recycles them without touching the OS.
+constexpr std::size_t kMinPooledSampleCapacity = 4096;
+constexpr std::size_t kMaxPooledSampleBuffers = 8;
+thread_local std::vector<std::vector<double>> g_spare_sample_buffers;
+
+}  // namespace
+
+namespace detail {
+
+std::vector<double> acquire_sample_buffer() {
+  if (g_spare_sample_buffers.empty()) return {};
+  std::vector<double> buf = std::move(g_spare_sample_buffers.back());
+  g_spare_sample_buffers.pop_back();
+  buf.clear();
+  return buf;
+}
+
+void release_sample_buffer(std::vector<double>&& buf) {
+  if (buf.capacity() >= kMinPooledSampleCapacity &&
+      g_spare_sample_buffers.size() < kMaxPooledSampleBuffers) {
+    g_spare_sample_buffers.push_back(std::move(buf));
+  }
+}
+
+}  // namespace detail
+
+SampleSet::~SampleSet() {
+  detail::release_sample_buffer(std::move(xs_));
+  detail::release_sample_buffer(std::move(sorted_));
+}
+
 double SampleSet::mean() const {
   if (xs_.empty()) return 0.0;
   double s = 0.0;

@@ -50,12 +50,40 @@ class Ewma {
 /// Exact sample container with quantiles; used by the experiment harness
 /// where sample counts are modest (thousands) and exact percentiles matter
 /// for confidence intervals.
+namespace detail {
+/// Spare backing stores for SampleSet. Sinks accumulate multi-megabyte
+/// sample vectors over a runtime's lifetime; recycling the buffers across
+/// instances keeps the allocator from returning those pages to the OS on
+/// every construct/destroy cycle (and re-faulting them on the next), which
+/// otherwise dominates tight simulate-teardown loops.
+std::vector<double> acquire_sample_buffer();
+void release_sample_buffer(std::vector<double>&& buf);
+}  // namespace detail
+
 class SampleSet {
  public:
+  SampleSet() = default;
+  ~SampleSet();
+  SampleSet(const SampleSet&) = default;
+  SampleSet& operator=(const SampleSet&) = default;
+  SampleSet(SampleSet&&) noexcept = default;
+  SampleSet& operator=(SampleSet&&) noexcept = default;
+
   // Inline: sinks call this once per record on the data-plane hot path.
   void add(double x) {
+    if (xs_.capacity() == 0) xs_ = detail::acquire_sample_buffer();
     xs_.push_back(x);
     sorted_valid_ = false;
+  }
+  /// Bulk append: grow by `n` slots and return a pointer to the first new
+  /// one for the caller to fill directly — batch sinks use this to turn
+  /// per-record push_backs into one tight vectorizable store loop.
+  double* extend(std::size_t n) {
+    if (xs_.capacity() == 0) xs_ = detail::acquire_sample_buffer();
+    const std::size_t old = xs_.size();
+    xs_.resize(old + n);
+    sorted_valid_ = false;
+    return xs_.data() + old;
   }
   [[nodiscard]] std::size_t count() const { return xs_.size(); }
   [[nodiscard]] double mean() const;

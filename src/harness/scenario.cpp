@@ -12,6 +12,7 @@ namespace sage::harness {
 namespace {
 
 thread_local std::unique_ptr<obs::MetricsRegistry> g_task_metrics;
+thread_local std::uint64_t g_task_records = 0;
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -45,9 +46,20 @@ std::string num(double v) {
 
 obs::MetricsRegistry* current_task_metrics() { return g_task_metrics.get(); }
 
+void report_task_records(std::uint64_t records) { g_task_records += records; }
+
 namespace detail {
 
-void begin_task_metrics() { g_task_metrics = std::make_unique<obs::MetricsRegistry>(); }
+void begin_task_metrics() {
+  g_task_metrics = std::make_unique<obs::MetricsRegistry>();
+  g_task_records = 0;
+}
+
+std::uint64_t take_task_records() {
+  const std::uint64_t n = g_task_records;
+  g_task_records = 0;
+  return n;
+}
 
 std::string end_task_metrics() {
   std::string out;
@@ -105,6 +117,12 @@ std::string ScenarioRunner::json(const std::string& bench, bool smoke) const {
       const TaskTiming& t = s.tasks[j];
       out += "      {\"index\": " + std::to_string(t.index) + ", \"label\": \"" +
              json_escape(t.label) + "\", \"wall_ms\": " + num(t.wall_ms);
+      if (t.records > 0) {
+        out += ", \"records\": " + std::to_string(t.records);
+        const double wall_s = t.wall_ms / 1e3;
+        out += ", \"records_per_wall_s\": " +
+               num(wall_s > 0.0 ? static_cast<double>(t.records) / wall_s : 0.0);
+      }
       // Snapshots are already valid single-line JSON objects; embed raw.
       if (!t.metrics_json.empty()) out += ", \"metrics\": " + t.metrics_json;
       out += "}";

@@ -24,6 +24,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <memory>
 #include <string>
@@ -57,17 +58,28 @@ int env_shards();
 /// byte-identical whether observability is on or off.
 obs::MetricsRegistry* current_task_metrics();
 
+/// Credit `records` processed records to the grid point currently executing
+/// on this thread. Benches call this from inside a sweep task; the total
+/// surfaces as `records` / `records_per_wall_s` in the task's --json record
+/// (a records-per-wall-second throughput figure for perf tracking). No-op
+/// outside a sweep.
+void report_task_records(std::uint64_t records);
+
 namespace detail {
 /// Install a fresh per-task registry on the calling thread.
 void begin_task_metrics();
 /// Uninstall it; returns its JSON snapshot, or "" when nothing landed.
 std::string end_task_metrics();
+/// Drain the thread's report_task_records() accumulator.
+std::uint64_t take_task_records();
 }  // namespace detail
 
 struct TaskTiming {
   std::size_t index = 0;
   std::string label;
   double wall_ms = 0.0;
+  /// Records the task credited via report_task_records (0 = not reported).
+  std::uint64_t records = 0;
   /// Merged metric snapshot for this grid point ("" when obs was off).
   std::string metrics_json;
 };
@@ -113,6 +125,7 @@ class ScenarioRunner {
       TaskTiming& t = timing.tasks[i];
       t.index = i;
       t.label = label_fn(tasks[i]);
+      t.records = detail::take_task_records();
       t.metrics_json = detail::end_task_metrics();
       t.wall_ms = ms_since(began);
     };

@@ -36,6 +36,11 @@
 #include <type_traits>
 #include <vector>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define SAGE_COMPACT_AVX2 1
+#include <immintrin.h>
+#endif
+
 #include "common/check.hpp"
 #include "common/flat_map.hpp"
 #include "stream/record.hpp"
@@ -48,48 +53,256 @@ using FilterPred = std::function<bool(const Record&)>;
 /// the batch's wire-byte total).
 using BatchApplyFn = std::function<void(RecordBatch&)>;
 
-/// Wrap a per-record map into a whole-batch pass. Instantiated on the
-/// *concrete* callable type, so the record loop inlines the user lambda —
-/// one type-erased call per batch instead of one per record.
+/// Wrap a per-record map into a whole-batch scalar pass: gather each row,
+/// apply the callable, scatter it back. Instantiated on the *concrete*
+/// callable type, so the record loop inlines the user lambda — one
+/// type-erased call per batch instead of one per record. This is the
+/// row-at-a-time reference form a stage runs when SoA kernels are off.
 template <class F>
 BatchApplyFn make_map_apply(F f) {
   return [f = std::move(f)](RecordBatch& batch) {
+    const std::size_t n = batch.size();
     Bytes total = Bytes::zero();
-    for (Record& r : batch.records()) {
-      r = f(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Record r = f(batch.row(i));
+      batch.set_row(i, r);
       total += r.wire_size;
     }
     batch.set_wire_size(total);
   };
 }
 
-/// Wrap a per-record predicate into a whole-batch in-place compaction.
+/// Wrap a per-record predicate into a whole-batch scalar in-place
+/// compaction (gather / test / scatter-forward).
 template <class F>
 BatchApplyFn make_filter_apply(F f) {
   return [f = std::move(f)](RecordBatch& batch) {
-    auto& recs = batch.records();
+    const std::size_t n = batch.size();
     std::size_t w = 0;
     Bytes total = Bytes::zero();
-    for (const Record& r : recs) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const Record r = batch.row(i);
       if (f(r)) {
-        recs[w++] = r;
+        batch.set_row(w++, r);
         total += r.wire_size;
       }
     }
-    recs.resize(w);
+    batch.truncate(w);
     batch.set_wire_size(total);
   };
 }
 
+// Column-wise stage kernels: the vectorized passes fused stages run when
+// SoA kernels are enabled. Each is instantiated on the concrete callable
+// and walks only the columns it needs — no Record is materialized. Every
+// kernel computes values identical to its scalar `apply` twin (same
+// floating-point operations on the same operands in the same order), so
+// flipping the execution path never changes simulated output.
+
+/// Value map `double -> double`: one tight loop over the value column.
+/// Event-time / key / wire columns — and therefore the tracked wire-byte
+/// total — are untouched.
+template <class F>
+BatchApplyFn make_value_map_kernel(F f) {
+  return [f = std::move(f)](RecordBatch& batch) {
+    double* v = batch.values().data();
+    const std::size_t n = batch.size();
+    for (std::size_t i = 0; i < n; ++i) v[i] = f(v[i]);
+  };
+}
+
+namespace detail {
+
+#ifdef SAGE_COMPACT_AVX2
+/// One-time CPUID probe for the AVX2 left-packing compaction.
+inline bool avx2_available() {
+  static const bool ok = __builtin_cpu_supports("avx2") != 0;
+  return ok;
+}
+
+/// Tables for 4-lane 64-bit left packing. `perm[m]` is the epi32 index
+/// vector that moves the set lanes of 4-bit mask `m` to the front in
+/// stable order (each 64-bit lane is an adjacent pair of 32-bit indexes);
+/// `head[c]` is an all-ones mask over the first `c` 64-bit lanes, used to
+/// restrict the wire-byte accumulator to the surviving lanes.
+struct CompactLut {
+  alignas(32) std::int32_t perm[16][8];
+  alignas(32) std::int64_t head[5][4];
+  CompactLut() {
+    for (int m = 0; m < 16; ++m) {
+      int out = 0;
+      for (int lane = 0; lane < 4; ++lane) {
+        if ((m >> lane) & 1) {
+          perm[m][2 * out] = 2 * lane;
+          perm[m][2 * out + 1] = 2 * lane + 1;
+          ++out;
+        }
+      }
+      for (; out < 4; ++out) {
+        perm[m][2 * out] = 0;
+        perm[m][2 * out + 1] = 1;
+      }
+    }
+    for (int c = 0; c <= 4; ++c) {
+      for (int lane = 0; lane < 4; ++lane) head[c][lane] = lane < c ? -1 : 0;
+    }
+  }
+};
+
+inline const CompactLut& compact_lut() {
+  static const CompactLut lut;
+  return lut;
+}
+
+/// Branchless 4-wide compaction body. The predicate still runs scalar, row
+/// by row in order (bit-identical to the reference loop); only the data
+/// movement is vectorized: a 4-bit keep mask picks a permutation that left-
+/// packs the group's lanes in all four columns, stores land unconditionally
+/// at the write cursor (lanes past the survivor count hold duplicates that
+/// the next group or the final truncate overwrites), and the wire-byte
+/// total accumulates masked int64 lanes — integer addition, so the
+/// re-associated sum equals the scalar running sum exactly. This removes
+/// the one data-dependent branch per row, whose ~10-30% mispredict rate
+/// under typical filter selectivities dominates the scalar loop's cost.
+///
+/// In-place safety: all reads of group [i, i+4) happen before its stores,
+/// and stores never touch positions >= i+4 (w <= i always), so later
+/// groups read untouched input.
+template <class Pred>
+__attribute__((target("avx2"))) inline std::size_t compact_columns_avx2(
+    SimTime* t, std::uint64_t* k, double* v, Bytes* wire, std::size_t n,
+    std::int64_t* total_out, Pred& keep_row) {
+  static_assert(std::is_trivially_copyable_v<SimTime> && sizeof(SimTime) == 8);
+  static_assert(std::is_trivially_copyable_v<Bytes> && sizeof(Bytes) == 8);
+  const CompactLut& lut = compact_lut();
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t w = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    unsigned m = 0;
+    m |= static_cast<unsigned>(keep_row(i));
+    m |= static_cast<unsigned>(keep_row(i + 1)) << 1;
+    m |= static_cast<unsigned>(keep_row(i + 2)) << 2;
+    m |= static_cast<unsigned>(keep_row(i + 3)) << 3;
+    const __m256i perm =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(lut.perm[m]));
+    const __m256i tv = _mm256_permutevar8x32_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(t + i)), perm);
+    const __m256i kv = _mm256_permutevar8x32_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(k + i)), perm);
+    const __m256i vv = _mm256_permutevar8x32_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i)), perm);
+    const __m256i wv = _mm256_permutevar8x32_epi32(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(wire + i)), perm);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(t + w), tv);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(k + w), kv);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(v + w), vv);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(wire + w), wv);
+    const auto c = static_cast<unsigned>(__builtin_popcount(m));
+    acc = _mm256_add_epi64(
+        acc, _mm256_and_si256(
+                 wv, _mm256_load_si256(
+                         reinterpret_cast<const __m256i*>(lut.head[c]))));
+    w += c;
+  }
+  alignas(32) std::int64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::int64_t total = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; i < n; ++i) {
+    if (keep_row(i)) {
+      t[w] = t[i];
+      k[w] = k[i];
+      v[w] = v[i];
+      wire[w] = wire[i];
+      total += wire[i].count();
+      ++w;
+    }
+  }
+  *total_out = total;
+  return w;
+}
+#endif  // SAGE_COMPACT_AVX2
+
+/// Shared single-pass compaction: `keep_row(i)` decides row i's fate and
+/// survivors slide forward to the write cursor (always <= the read cursor,
+/// so stable and in-place safe). All four columns move in the same pass —
+/// one predicate evaluation per row — and the wire-byte total is re-summed
+/// from the survivors as they land. On AVX2 hardware the data movement runs
+/// through the branchless left-packing body above; the scalar loop is the
+/// reference (and tail/fallback) form. Both produce identical batches and
+/// identical wire totals.
+template <class Pred>
+inline void compact_columns(RecordBatch& batch, Pred keep_row) {
+  const std::size_t n = batch.size();
+  SimTime* t = batch.event_times().data();
+  std::uint64_t* k = batch.keys().data();
+  double* v = batch.values().data();
+  Bytes* wire = batch.wire_sizes().data();
+  std::size_t w = 0;
+  std::int64_t total = 0;
+#ifdef SAGE_COMPACT_AVX2
+  if (n >= 8 && avx2_available()) {
+    w = compact_columns_avx2(t, k, v, wire, n, &total, keep_row);
+    batch.truncate(w);
+    batch.set_wire_size(Bytes::of(total));
+    return;
+  }
+#endif
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keep_row(i)) {
+      t[w] = t[i];
+      k[w] = k[i];
+      v[w] = v[i];
+      wire[w] = wire[i];
+      total += wire[i].count();
+      ++w;
+    }
+  }
+  batch.truncate(w);
+  batch.set_wire_size(Bytes::of(total));
+}
+
+}  // namespace detail
+
+/// Generic filter kernel: the predicate sees whole records (gathered per
+/// row), columns compact in a single branchless pass.
+template <class F>
+BatchApplyFn make_filter_kernel(F f) {
+  return [f = std::move(f)](RecordBatch& batch) {
+    detail::compact_columns(batch, [&](std::size_t i) { return f(batch.row(i)); });
+  };
+}
+
+/// Value filter `double -> bool`: the predicate reads the value column
+/// directly — no Record is materialized.
+template <class F>
+BatchApplyFn make_value_filter_kernel(F f) {
+  return [f = std::move(f)](RecordBatch& batch) {
+    const double* v = batch.values().data();
+    detail::compact_columns(batch, [&](std::size_t i) { return f(v[i]); });
+  };
+}
+
+/// Key filter `uint64 -> bool`: the predicate reads the key column alone.
+template <class F>
+BatchApplyFn make_key_filter_kernel(F f) {
+  return [f = std::move(f)](RecordBatch& batch) {
+    const std::uint64_t* k = batch.keys().data();
+    detail::compact_columns(batch, [&](std::size_t i) { return f(k[i]); });
+  };
+}
+
 /// One stage of a fused stateless chain: exactly one of `map` / `filter`
-/// is set (record-at-a-time semantics), and `apply` is the equivalent
-/// whole-batch pass the executor actually runs. `cost` is the stage's
-/// per-record CPU cost (the runtime models fused chains stage by stage, so
-/// fusion never changes simulated timing).
+/// is set (record-at-a-time semantics), `apply` is the equivalent scalar
+/// whole-batch pass, and `kernel` — when present — is the column-wise
+/// vectorized pass the executor prefers while SoA kernels are enabled.
+/// `cost` is the stage's per-record CPU cost (the runtime models fused
+/// chains stage by stage, so fusion never changes simulated timing).
 struct StatelessStage {
   MapFn map;
   FilterPred filter;
   BatchApplyFn apply;
+  BatchApplyFn kernel;
   double cost = 1.0;
 };
 
@@ -138,12 +351,22 @@ class MapOperator final : public Operator {
   using Fn = MapFn;
   /// Templated on the concrete callable so the hot batch path
   /// (`make_map_apply`) inlines it; `fn_` keeps a type-erased copy for the
-  /// record-at-a-time `process` path.
+  /// record-at-a-time `process` path. Generic record maps have no columnar
+  /// form — the stage runs its scalar pass in either mode.
   template <class F>
     requires std::is_invocable_r_v<Record, const F&, const Record&>
   MapOperator(std::string name, F fn, double cost = 1.0)
       : name_(std::move(name)), fn_(fn), apply_(make_map_apply(std::move(fn))),
         cost_(cost) {
+    SAGE_CHECK(cost_ > 0.0);
+  }
+  /// Pre-lowered form (the make_value_map factory): a type-erased
+  /// record-at-a-time view plus matching scalar `apply` and columnar
+  /// `kernel` passes built from the same concrete callable.
+  MapOperator(std::string name, MapFn fn, BatchApplyFn apply, BatchApplyFn kernel,
+              double cost)
+      : name_(std::move(name)), fn_(std::move(fn)), apply_(std::move(apply)),
+        kernel_(std::move(kernel)), cost_(cost) {
     SAGE_CHECK(cost_ > 0.0);
   }
 
@@ -157,6 +380,7 @@ class MapOperator final : public Operator {
   std::string name_;
   Fn fn_;
   BatchApplyFn apply_;
+  BatchApplyFn kernel_;  // null for generic record maps
   double cost_;
 };
 
@@ -166,8 +390,15 @@ class FilterOperator final : public Operator {
   template <class F>
     requires std::is_invocable_r_v<bool, const F&, const Record&>
   FilterOperator(std::string name, F pred, double cost = 0.5)
-      : name_(std::move(name)), pred_(pred), apply_(make_filter_apply(std::move(pred))),
-        cost_(cost) {
+      : name_(std::move(name)), pred_(pred), apply_(make_filter_apply(pred)),
+        kernel_(make_filter_kernel(std::move(pred))), cost_(cost) {
+    SAGE_CHECK(cost_ > 0.0);
+  }
+  /// Pre-lowered form (the make_value_filter / make_key_filter factories).
+  FilterOperator(std::string name, FilterPred pred, BatchApplyFn apply,
+                 BatchApplyFn kernel, double cost)
+      : name_(std::move(name)), pred_(std::move(pred)), apply_(std::move(apply)),
+        kernel_(std::move(kernel)), cost_(cost) {
     SAGE_CHECK(cost_ > 0.0);
   }
 
@@ -181,6 +412,7 @@ class FilterOperator final : public Operator {
   std::string name_;
   Pred pred_;
   BatchApplyFn apply_;
+  BatchApplyFn kernel_;
   double cost_;
 };
 
@@ -204,8 +436,14 @@ class FusedStatelessChain final : public Operator {
   [[nodiscard]] std::size_t stage_count() const { return stages_.size(); }
   [[nodiscard]] double stage_cost(std::size_t i) const { return stages_[i].cost; }
   /// Apply stage `i` to `batch` in place (maps rewrite records, filters
-  /// compact), maintaining the batch's wire-byte accounting.
-  void apply_stage(std::size_t i, RecordBatch& batch) const;
+  /// compact), maintaining the batch's wire-byte accounting. `use_kernel`
+  /// selects the column-wise pass when the stage has one; the scalar pass
+  /// computes identical values (the runtime passes its config flag, other
+  /// callers the process-wide default).
+  void apply_stage(std::size_t i, RecordBatch& batch, bool use_kernel) const;
+  void apply_stage(std::size_t i, RecordBatch& batch) const {
+    apply_stage(i, batch, soa_kernels_enabled());
+  }
 
  private:
   std::string name_;
@@ -370,7 +608,11 @@ class TopKOperator final : public Operator {
 // Factory helpers. make_map / make_filter are templates so the concrete
 // callable type survives into the operator's batch-apply path (see
 // make_map_apply); passing a std::function still works, it just keeps the
-// extra indirection.
+// extra indirection. The value/key variants take a callable over the single
+// field they read — the stage then compiles to a kernel over that one
+// column (see make_value_map_kernel etc.); they are separate factories, not
+// overloads, because implicit conversions make double/uint64 invocability
+// ambiguous.
 template <class F>
 [[nodiscard]] std::shared_ptr<Operator> make_map(std::string name, F fn,
                                                  double cost = 1.0) {
@@ -380,6 +622,42 @@ template <class F>
 [[nodiscard]] std::shared_ptr<Operator> make_filter(std::string name, F pred,
                                                     double cost = 0.5) {
   return std::make_shared<FilterOperator>(std::move(name), std::move(pred), cost);
+}
+/// Map that rewrites only the value: `fn` is `double -> double`.
+template <class F>
+  requires std::is_invocable_r_v<double, const F&, double>
+[[nodiscard]] std::shared_ptr<Operator> make_value_map(std::string name, F fn,
+                                                       double cost = 1.0) {
+  auto on_record = [fn](const Record& r) {
+    Record o = r;
+    o.value = fn(r.value);
+    return o;
+  };
+  return std::make_shared<MapOperator>(std::move(name), MapFn(on_record),
+                                       make_map_apply(on_record),
+                                       make_value_map_kernel(std::move(fn)), cost);
+}
+/// Filter on the value alone: `pred` is `double -> bool`.
+template <class F>
+  requires std::is_invocable_r_v<bool, const F&, double>
+[[nodiscard]] std::shared_ptr<Operator> make_value_filter(std::string name, F pred,
+                                                          double cost = 0.5) {
+  auto on_record = [pred](const Record& r) { return static_cast<bool>(pred(r.value)); };
+  return std::make_shared<FilterOperator>(std::move(name), FilterPred(on_record),
+                                          make_filter_apply(on_record),
+                                          make_value_filter_kernel(std::move(pred)),
+                                          cost);
+}
+/// Filter on the key alone: `pred` is `uint64 -> bool`.
+template <class F>
+  requires std::is_invocable_r_v<bool, const F&, std::uint64_t>
+[[nodiscard]] std::shared_ptr<Operator> make_key_filter(std::string name, F pred,
+                                                        double cost = 0.5) {
+  auto on_record = [pred](const Record& r) { return static_cast<bool>(pred(r.key)); };
+  return std::make_shared<FilterOperator>(std::move(name), FilterPred(on_record),
+                                          make_filter_apply(on_record),
+                                          make_key_filter_kernel(std::move(pred)),
+                                          cost);
 }
 [[nodiscard]] std::shared_ptr<Operator> make_fused(std::string name,
                                                    std::vector<StatelessStage> stages);

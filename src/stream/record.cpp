@@ -1,0 +1,24 @@
+#include "stream/record.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace sage::stream {
+namespace {
+
+bool env_soa_default() {
+  const char* env = std::getenv("SAGE_SOA");
+  // Unset or anything but an explicit "0" keeps the kernels on: the flag
+  // exists for A/B byte-identity checks, not as an opt-in.
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
+
+bool g_soa_kernels = env_soa_default();
+
+}  // namespace
+
+bool soa_kernels_enabled() { return g_soa_kernels; }
+
+void set_soa_kernels_enabled(bool enabled) { g_soa_kernels = enabled; }
+
+}  // namespace sage::stream

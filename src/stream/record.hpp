@@ -5,14 +5,39 @@
 // batches into WAN-sized transfers. Records carry their creation time so
 // sinks can account true end-to-end (event-to-arrival) latency across
 // however many sites and transfers a record traversed.
+//
+// Batches are stored structure-of-arrays: four parallel columns
+// (event_time / key / value / wire_size) instead of one std::vector of
+// 32-byte structs. Stages that touch a single field — value maps, key
+// filters, the sink's latency loop — walk one dense 8-byte column, which
+// vectorizes and quarters the memory traffic. `Record` remains the
+// record-at-a-time interchange type: `row(i)` gathers one, `add` scatters
+// one, and `rows()` iterates the batch as materialized records so
+// row-oriented operators and tests keep working unchanged in spirit.
+//
+// Layout is unconditional; what `SAGE_SOA` / `RuntimeConfig::soa_kernels`
+// gates is the *execution path* of fused stages: column-wise kernels
+// (default) versus the scalar row-at-a-time reference loops. Both compute
+// identical values — the flag is a wall-clock knob, never a semantic one
+// (CI diffs every figure bench on-vs-off for byte identity).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/units.hpp"
 
 namespace sage::stream {
+
+/// Process-wide default for the vectorized column-kernel execution path:
+/// `SAGE_SOA` in the environment (unset/`1` = on, `0` = off), read once.
+/// `RuntimeConfig::soa_kernels` snapshots this default; standalone operator
+/// calls (outside a runtime) consult it directly.
+[[nodiscard]] bool soa_kernels_enabled();
+/// Override the process-wide default (tests and A/B benches).
+void set_soa_kernels_enabled(bool enabled);
 
 struct Record {
   /// Simulated time the event was produced at its source.
@@ -29,45 +54,195 @@ class RecordBatch {
  public:
   RecordBatch() = default;
 
-  void add(Record r) {
-    bytes_ += r.wire_size;
-    records_.push_back(r);
+  void add(const Record& r) { add(r.event_time, r.key, r.value, r.wire_size); }
+  /// Column-wise append (sources write fields straight into the columns).
+  void add(SimTime event_time, std::uint64_t key, double value, Bytes wire) {
+    bytes_ += wire;
+    event_time_.push_back(event_time);
+    key_.push_back(key);
+    value_.push_back(value);
+    wire_.push_back(wire);
   }
+
   void clear() {
-    records_.clear();
+    event_time_.clear();
+    key_.clear();
+    value_.clear();
+    wire_.clear();
     bytes_ = Bytes::zero();
   }
-  void reserve(std::size_t n) { records_.reserve(n); }
+  void reserve(std::size_t n) {
+    event_time_.reserve(n);
+    key_.reserve(n);
+    value_.reserve(n);
+    wire_.reserve(n);
+  }
   void append(const RecordBatch& other) {
-    records_.reserve(records_.size() + other.records_.size());
-    records_.insert(records_.end(), other.records_.begin(), other.records_.end());
+    reserve(size() + other.size());
+    event_time_.insert(event_time_.end(), other.event_time_.begin(),
+                       other.event_time_.end());
+    key_.insert(key_.end(), other.key_.begin(), other.key_.end());
+    value_.insert(value_.end(), other.value_.begin(), other.value_.end());
+    wire_.insert(wire_.end(), other.wire_.begin(), other.wire_.end());
     bytes_ += other.bytes_;
   }
-  /// Move-append: steals the other batch's buffer when this one is empty,
-  /// otherwise copies with a single reservation. `other` is left cleared.
+  /// Move-append: steals the other batch's columns when this one is empty,
+  /// otherwise copies with a single reservation. Either way `other` is left
+  /// cleared *with its capacity intact* (the stolen-into case hands it this
+  /// batch's old buffers), so the caller can recycle it into a batch pool.
   void append(RecordBatch&& other) {
-    if (records_.empty()) {
-      records_.swap(other.records_);
+    if (event_time_.empty()) {
+      event_time_.swap(other.event_time_);
+      key_.swap(other.key_);
+      value_.swap(other.value_);
+      wire_.swap(other.wire_);
       bytes_ += other.bytes_;
     } else {
       append(static_cast<const RecordBatch&>(other));
-      other.records_.clear();
+      other.event_time_.clear();
+      other.key_.clear();
+      other.value_.clear();
+      other.wire_.clear();
     }
     other.bytes_ = Bytes::zero();
   }
 
-  [[nodiscard]] bool empty() const { return records_.empty(); }
-  [[nodiscard]] std::size_t size() const { return records_.size(); }
-  [[nodiscard]] std::size_t capacity() const { return records_.capacity(); }
+  [[nodiscard]] bool empty() const { return event_time_.empty(); }
+  [[nodiscard]] std::size_t size() const { return event_time_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return event_time_.capacity(); }
   [[nodiscard]] Bytes wire_size() const { return bytes_; }
-  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
-  [[nodiscard]] std::vector<Record>& records() { return records_; }
-  /// Replace the tracked wire-byte total after an in-place transform of
-  /// `records()` (operators maintain the sum while they rewrite the batch).
+  /// Replace the tracked wire-byte total after an in-place transform
+  /// (operators maintain the column sum while they rewrite the batch).
   void set_wire_size(Bytes total) { bytes_ = total; }
 
+  // Columns. Mutating a column directly leaves the wire-byte total to the
+  // caller (finish with set_wire_size / recompute_wire_size).
+  [[nodiscard]] const std::vector<SimTime>& event_times() const { return event_time_; }
+  [[nodiscard]] std::vector<SimTime>& event_times() { return event_time_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& keys() const { return key_; }
+  [[nodiscard]] std::vector<std::uint64_t>& keys() { return key_; }
+  [[nodiscard]] const std::vector<double>& values() const { return value_; }
+  [[nodiscard]] std::vector<double>& values() { return value_; }
+  [[nodiscard]] const std::vector<Bytes>& wire_sizes() const { return wire_; }
+  [[nodiscard]] std::vector<Bytes>& wire_sizes() { return wire_; }
+
+  /// Gather row `i` into a Record.
+  [[nodiscard]] Record row(std::size_t i) const {
+    return Record{event_time_[i], key_[i], value_[i], wire_[i]};
+  }
+  /// Scatter a Record back into row `i`. Does not touch the tracked byte
+  /// total — in-place transforms maintain it themselves.
+  void set_row(std::size_t i, const Record& r) {
+    event_time_[i] = r.event_time;
+    key_[i] = r.key;
+    value_[i] = r.value;
+    wire_[i] = r.wire_size;
+  }
+
+  /// Drop all rows past the first `n` (filter compaction tail). The tracked
+  /// byte total is the caller's to maintain.
+  void truncate(std::size_t n) {
+    event_time_.resize(n);
+    key_.resize(n);
+    value_.resize(n);
+    wire_.resize(n);
+  }
+
+  /// Sum the wire column into the tracked byte total (after direct column
+  /// surgery) and return it.
+  Bytes recompute_wire_size() {
+    Bytes total = Bytes::zero();
+    for (const Bytes b : wire_) total += b;
+    bytes_ = total;
+    return total;
+  }
+
+  /// Stable selection-mask compaction: keep exactly the rows whose mask
+  /// byte is non-zero, then refresh the tracked byte total from the
+  /// surviving wire column. `keep` must have size() entries. One pass over
+  /// all four columns — survivors slide forward to the write cursor (always
+  /// <= the read cursor, so stable and in-place safe) and only survivors
+  /// are stored, which wins at the high keep rates filters typically see.
+  void compact(const std::uint8_t* keep) {
+    const std::size_t n = size();
+    SimTime* t = event_time_.data();
+    std::uint64_t* k = key_.data();
+    double* v = value_.data();
+    Bytes* wire = wire_.data();
+    std::size_t w = 0;
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (keep[i]) {
+        t[w] = t[i];
+        k[w] = k[i];
+        v[w] = v[i];
+        wire[w] = wire[i];
+        total += wire[i].count();
+        ++w;
+      }
+    }
+    truncate(w);
+    bytes_ = Bytes::of(total);
+  }
+
+  /// Lightweight row proxy: reference-semantics view of one row that
+  /// converts to (and assigns from) a materialized Record.
+  class RowRef {
+   public:
+    RowRef(RecordBatch& b, std::size_t i) : b_(&b), i_(i) {}
+    operator Record() const { return b_->row(i_); }  // NOLINT(google-explicit-constructor)
+    RowRef& operator=(const Record& r) {
+      b_->set_row(i_, r);
+      return *this;
+    }
+    [[nodiscard]] SimTime event_time() const { return b_->event_time_[i_]; }
+    [[nodiscard]] std::uint64_t key() const { return b_->key_[i_]; }
+    [[nodiscard]] double value() const { return b_->value_[i_]; }
+    [[nodiscard]] Bytes wire_size() const { return b_->wire_[i_]; }
+
+   private:
+    RecordBatch* b_;
+    std::size_t i_;
+  };
+
+  /// Const forward iterator over materialized rows; `for (Record r :
+  /// batch.rows())` (or `const Record&` — the temporary's lifetime extends)
+  /// keeps row-oriented loops compiling against the columnar layout.
+  class ConstRowIterator {
+   public:
+    ConstRowIterator(const RecordBatch& b, std::size_t i) : b_(&b), i_(i) {}
+    [[nodiscard]] Record operator*() const { return b_->row(i_); }
+    ConstRowIterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    [[nodiscard]] bool operator!=(const ConstRowIterator& o) const { return i_ != o.i_; }
+
+   private:
+    const RecordBatch* b_;
+    std::size_t i_;
+  };
+
+  class RowsView {
+   public:
+    explicit RowsView(const RecordBatch& b) : b_(&b) {}
+    [[nodiscard]] ConstRowIterator begin() const { return {*b_, 0}; }
+    [[nodiscard]] ConstRowIterator end() const { return {*b_, b_->size()}; }
+    [[nodiscard]] Record operator[](std::size_t i) const { return b_->row(i); }
+    [[nodiscard]] std::size_t size() const { return b_->size(); }
+
+   private:
+    const RecordBatch* b_;
+  };
+
+  [[nodiscard]] RowsView rows() const { return RowsView(*this); }
+  [[nodiscard]] RowRef row_ref(std::size_t i) { return RowRef(*this, i); }
+
  private:
-  std::vector<Record> records_;
+  std::vector<SimTime> event_time_;
+  std::vector<std::uint64_t> key_;
+  std::vector<double> value_;
+  std::vector<Bytes> wire_;
   Bytes bytes_;
 };
 

@@ -56,6 +56,11 @@ struct RuntimeConfig {
   /// Collapse adjacent same-site stateless operators into fused vertices.
   /// Simulated results are unchanged; this is a wall-clock optimization.
   bool fuse_stateless_chains = true;
+  /// Execute fused stages through their column-wise SoA kernels instead of
+  /// the scalar row-at-a-time passes. Both paths compute identical values —
+  /// like fusion itself, this is a wall-clock knob only. Defaults from the
+  /// `SAGE_SOA` environment variable (on unless set to "0").
+  bool soa_kernels = soa_kernels_enabled();
 };
 
 struct SinkStats {

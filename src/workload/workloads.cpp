@@ -43,9 +43,9 @@ JobGraph make_sensor_grid_job(const SensorGridParams& params) {
     const double keep = params.filter_keep_fraction;
     const auto filter = g.add_operator(
         "quality-filter" + suffix, site,
-        stream::make_filter("quality-filter", [keep](const Record& r) {
+        stream::make_key_filter("quality-filter", [keep](std::uint64_t key) {
           const double u =
-              static_cast<double>(hash_u64(r.key) >> 11) * 0x1.0p-53;
+              static_cast<double>(hash_u64(key) >> 11) * 0x1.0p-53;
           return u < keep;
         }));
     const auto local_agg = g.add_operator(
@@ -89,8 +89,8 @@ JobGraph make_clickstream_job(const ClickstreamParams& params) {
     // Bot heuristic: a fixed slice of the key space is machine traffic.
     const auto bots = g.add_operator(
         "bot-filter" + suffix, site,
-        stream::make_filter("bot-filter",
-                            [](const Record& r) { return (hash_u64(r.key) % 20) != 0; }));
+        stream::make_key_filter(
+            "bot-filter", [](std::uint64_t key) { return (hash_u64(key) % 20) != 0; }));
     const auto counts = g.add_operator(
         "url-counts" + suffix, site,
         stream::make_window_aggregate("url-counts", params.count_window,

@@ -168,7 +168,7 @@ TEST(SlidingWindowTest, WindowCoversMultipleSlides) {
   stream::RecordBatch out1;
   op.on_timer(SimTime::epoch() + SimDuration::seconds(10), out1);
   ASSERT_EQ(out1.size(), 1u);
-  EXPECT_DOUBLE_EQ(out1.records()[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(out1.row(0).value, 1.0);
 
   stream::RecordBatch b2;
   b2.add(rec(2.0, 7));
@@ -176,7 +176,7 @@ TEST(SlidingWindowTest, WindowCoversMultipleSlides) {
   stream::RecordBatch out2;
   op.on_timer(SimTime::epoch() + SimDuration::seconds(20), out2);
   ASSERT_EQ(out2.size(), 1u);
-  EXPECT_DOUBLE_EQ(out2.records()[0].value, 3.0);  // 1 + 2 still in window
+  EXPECT_DOUBLE_EQ(out2.row(0).value, 3.0);  // 1 + 2 still in window
 
   stream::RecordBatch b3;
   b3.add(rec(4.0, 7));
@@ -184,13 +184,13 @@ TEST(SlidingWindowTest, WindowCoversMultipleSlides) {
   stream::RecordBatch out3;
   op.on_timer(SimTime::epoch() + SimDuration::seconds(30), out3);
   ASSERT_EQ(out3.size(), 1u);
-  EXPECT_DOUBLE_EQ(out3.records()[0].value, 7.0);  // 1 + 2 + 4
+  EXPECT_DOUBLE_EQ(out3.row(0).value, 7.0);  // 1 + 2 + 4
 
   // Next slide: the first pane (value 1) expires out of the 30 s window.
   stream::RecordBatch out4;
   op.on_timer(SimTime::epoch() + SimDuration::seconds(40), out4);
   ASSERT_EQ(out4.size(), 1u);
-  EXPECT_DOUBLE_EQ(out4.records()[0].value, 6.0);  // 2 + 4
+  EXPECT_DOUBLE_EQ(out4.row(0).value, 6.0);  // 2 + 4
 }
 
 TEST(SlidingWindowTest, IdleKeysAreDropped) {
@@ -234,10 +234,10 @@ TEST(TopKTest, EmitsHeaviestKeysInOrder) {
   stream::RecordBatch out;
   op.on_timer(SimTime::epoch() + SimDuration::seconds(10), out);
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(out.records()[0].key, 100u);
-  EXPECT_DOUBLE_EQ(out.records()[0].value, 5.0);
-  EXPECT_EQ(out.records()[1].key, 200u);
-  EXPECT_DOUBLE_EQ(out.records()[1].value, 3.0);
+  EXPECT_EQ(out.row(0).key, 100u);
+  EXPECT_DOUBLE_EQ(out.row(0).value, 5.0);
+  EXPECT_EQ(out.row(1).key, 200u);
+  EXPECT_DOUBLE_EQ(out.row(1).value, 3.0);
 }
 
 TEST(TopKTest, SumValuesMode) {
@@ -251,7 +251,7 @@ TEST(TopKTest, SumValuesMode) {
   stream::RecordBatch out;
   op.on_timer(SimTime::epoch() + SimDuration::seconds(10), out);
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out.records()[0].key, 1u);  // weight 10 beats count 2
+  EXPECT_EQ(out.row(0).key, 1u);  // weight 10 beats count 2
 }
 
 TEST(TopKTest, WindowStateResets) {

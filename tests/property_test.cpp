@@ -536,5 +536,79 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(2u, 13u, 101u, 555u),
                        ::testing::Values(false, true)));
 
+// ---------------------------------------------------------------------------
+// Wire-size conservation through fused stages. The batch tracks its wire-byte
+// total incrementally (maps rewrite it, filters refresh it from survivors);
+// after every stage of a random map/filter chain the tracked total must equal
+// the actual column sum — on both execution paths (scalar and SoA kernels).
+// ---------------------------------------------------------------------------
+
+class WireSizeConservation
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, bool>> {};
+
+TEST_P(WireSizeConservation, TrackedTotalMatchesColumnSumAtEveryStage) {
+  const auto [seed, use_kernel] = GetParam();
+  Rng rng(seed * 77 + 5);
+
+  // Random chain mixing every stage flavour: generic record maps/filters,
+  // value maps/filters, key filters — several of them size-changing.
+  std::vector<stream::StatelessStage> stages;
+  const int n_stages = static_cast<int>(rng.uniform_int(2, 6));
+  for (int i = 0; i < n_stages; ++i) {
+    const std::string name = "st" + std::to_string(i);
+    const double kind = rng.uniform(0.0, 1.0);
+    std::shared_ptr<stream::Operator> op;
+    if (kind < 0.2) {
+      // Generic map that rewrites the wire size (stresses the tracked total).
+      op = stream::make_map(name, [](const stream::Record& r) {
+        stream::Record out = r;
+        out.wire_size = Bytes::of(r.wire_size.count() / 2 + 16);
+        return out;
+      });
+    } else if (kind < 0.4) {
+      op = stream::make_value_map(name, [](double v) { return v * 0.5 + 1.0; });
+    } else if (kind < 0.6) {
+      const double cut = rng.uniform(-1.0, 1.0);
+      op = stream::make_value_filter(name, [cut](double v) { return v > cut; });
+    } else if (kind < 0.8) {
+      const std::uint64_t mod = static_cast<std::uint64_t>(rng.uniform_int(2, 5));
+      op = stream::make_key_filter(name, [mod](std::uint64_t k) { return k % mod != 0; });
+    } else {
+      op = stream::make_filter(name, [](const stream::Record& r) {
+        return r.wire_size.count() % 3 != 0;
+      });
+    }
+    ASSERT_TRUE(op->collect_stages(stages));
+  }
+  stream::FusedStatelessChain chain("chain", std::move(stages));
+
+  stream::RecordBatch batch;
+  const int n_records = static_cast<int>(rng.uniform_int(0, 300));
+  for (int i = 0; i < n_records; ++i) {
+    stream::Record r;
+    r.key = static_cast<std::uint64_t>(rng.uniform_int(0, 99));
+    r.value = rng.uniform(-2.0, 2.0);
+    r.wire_size = Bytes::of(rng.uniform_int(32, 256));
+    batch.add(r);
+  }
+
+  auto column_sum = [](const stream::RecordBatch& b) {
+    Bytes total = Bytes::zero();
+    for (const Bytes w : b.wire_sizes()) total += w;
+    return total;
+  };
+  ASSERT_EQ(batch.wire_size(), column_sum(batch));
+  for (std::size_t s = 0; s < chain.stage_count(); ++s) {
+    chain.apply_stage(s, batch, use_kernel);
+    EXPECT_EQ(batch.wire_size(), column_sum(batch))
+        << "stage " << s << " seed " << seed << " kernel " << use_kernel;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndKernels, WireSizeConservation,
+    ::testing::Combine(::testing::Values(1u, 7u, 42u, 99u, 1234u),
+                       ::testing::Values(false, true)));
+
 }  // namespace
 }  // namespace sage

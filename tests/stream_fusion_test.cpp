@@ -140,7 +140,7 @@ TEST(FusedChainTest, MatchesPerOperatorSemantics) {
     ASSERT_EQ(got->size(), want.size());
     EXPECT_EQ(got->wire_size(), want.wire_size());
     for (std::size_t i = 0; i < want.size(); ++i) {
-      EXPECT_DOUBLE_EQ(got->records()[i].value, want.records()[i].value);
+      EXPECT_DOUBLE_EQ(got->row(i).value, want.row(i).value);
     }
   }
 }
@@ -169,7 +169,9 @@ struct NeverBackend final : TransferBackend {
   [[nodiscard]] std::string_view name() const override { return "never"; }
 };
 
-PipelineRun run_pipeline(bool fuse) {
+PipelineRun run_pipeline(bool fuse, bool soa = soa_kernels_enabled()) {
+  const bool prev_soa = soa_kernels_enabled();
+  set_soa_kernels_enabled(soa);
   NoisyWorld world(/*seed=*/7);
   SinkCapture capture;
 
@@ -206,6 +208,7 @@ PipelineRun run_pipeline(bool fuse) {
   out.bytes = runtime.sink_stats(sink).bytes;
   out.latency_ms = runtime.sink_stats(sink).latency_ms.values();
   out.captured = std::move(capture.records);
+  set_soa_kernels_enabled(prev_soa);
   return out;
 }
 
@@ -242,6 +245,57 @@ TEST(FusionEquivalenceTest, FusedRunsAreDeterministic) {
   const PipelineRun second = run_pipeline(true);
   ASSERT_GT(first.records, 0u);
   expect_identical(first, second);
+}
+
+// The SoA kernel path (column-wise fused stages) must be indistinguishable
+// from the scalar row-at-a-time path — same records, same timing — in both
+// fused and unfused pipelines.
+TEST(FusionEquivalenceTest, SoaKernelsMatchScalarExactly) {
+  const PipelineRun scalar = run_pipeline(true, /*soa=*/false);
+  const PipelineRun kernels = run_pipeline(true, /*soa=*/true);
+  ASSERT_GT(scalar.records, 0u);
+  expect_identical(scalar, kernels);
+  const PipelineRun scalar_unfused = run_pipeline(false, /*soa=*/false);
+  const PipelineRun kernels_unfused = run_pipeline(false, /*soa=*/true);
+  expect_identical(scalar_unfused, kernels_unfused);
+}
+
+// Column kernels built by the value/key factories compute the same survivors
+// and the same wire accounting as their scalar twins, stage by stage.
+TEST(FusedChainTest, ColumnKernelsMatchScalarApply) {
+  std::vector<StatelessStage> stages;
+  ASSERT_TRUE(make_value_map("scale", [](double v) { return v * 1.5 + 0.25; })
+                  ->collect_stages(stages));
+  ASSERT_TRUE(make_value_filter("pos", [](double v) { return v > -1.0; })
+                  ->collect_stages(stages));
+  ASSERT_TRUE(make_key_filter("mod", [](std::uint64_t k) { return k % 3 != 0; })
+                  ->collect_stages(stages));
+  FusedStatelessChain chain("f", std::move(stages));
+
+  RecordBatch in;
+  for (int i = 0; i < 32; ++i) {
+    Record r;
+    r.key = static_cast<std::uint64_t>(i * 7 % 11);
+    r.value = static_cast<double>(i) - 16.0;
+    r.wire_size = Bytes::of(48 + i);
+    in.add(r);
+  }
+  RecordBatch scalar = in;
+  RecordBatch columnar = in;
+  for (std::size_t s = 0; s < chain.stage_count(); ++s) {
+    chain.apply_stage(s, scalar, /*use_kernel=*/false);
+    chain.apply_stage(s, columnar, /*use_kernel=*/true);
+    ASSERT_EQ(scalar.size(), columnar.size()) << "stage " << s;
+    EXPECT_EQ(scalar.wire_size(), columnar.wire_size()) << "stage " << s;
+  }
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    const Record a = scalar.row(i);
+    const Record b = columnar.row(i);
+    ASSERT_EQ(a.event_time, b.event_time);
+    ASSERT_EQ(a.key, b.key);
+    ASSERT_EQ(a.value, b.value);
+    ASSERT_EQ(a.wire_size, b.wire_size);
+  }
 }
 
 }  // namespace

@@ -56,8 +56,8 @@ TEST(MapOperatorTest, TransformsEveryRecord) {
   RecordBatch out;
   op->process(0, in, out);
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_DOUBLE_EQ(out.records()[0].value, 2.0);
-  EXPECT_DOUBLE_EQ(out.records()[1].value, 5.0);
+  EXPECT_DOUBLE_EQ(out.row(0).value, 2.0);
+  EXPECT_DOUBLE_EQ(out.row(1).value, 5.0);
 }
 
 TEST(FilterOperatorTest, DropsNonMatching) {
@@ -87,7 +87,7 @@ TEST(WindowAggregateTest, EmitsPerKeyAggregatesOnTimer) {
   ASSERT_EQ(out.size(), 2u);
   double sum1 = 0.0;
   double sum2 = 0.0;
-  for (const Record& r : out.records()) {
+  for (const Record& r : out.rows()) {
     if (r.key == 1) sum1 = r.value;
     if (r.key == 2) sum2 = r.value;
   }
@@ -107,7 +107,7 @@ TEST(WindowAggregateTest, AllAggregateFunctions) {
     RecordBatch out;
     op.on_timer(SimTime::epoch() + SimDuration::seconds(1), out);
     EXPECT_EQ(out.size(), 1u);
-    return out.records()[0].value;
+    return out.row(0).value;
   };
   EXPECT_DOUBLE_EQ(run(AggregateFn::kSum), 14.0);
   EXPECT_DOUBLE_EQ(run(AggregateFn::kCount), 3.0);
@@ -126,7 +126,7 @@ TEST(WindowAggregateTest, OutputCarriesOldestEventTime) {
   RecordBatch out;
   op.on_timer(SimTime::epoch() + SimDuration::seconds(10), out);
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out.records()[0].event_time, SimTime::epoch() + SimDuration::seconds(2));
+  EXPECT_EQ(out.row(0).event_time, SimTime::epoch() + SimDuration::seconds(2));
 }
 
 TEST(WindowJoinTest, MatchesAcrossPorts) {
@@ -142,8 +142,8 @@ TEST(WindowJoinTest, MatchesAcrossPorts) {
   right.add(make_record(10.0, 99));  // unmatched key
   op.process(1, right, out);
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_DOUBLE_EQ(out.records()[0].value, 11.0);
-  EXPECT_EQ(out.records()[0].key, 42u);
+  EXPECT_DOUBLE_EQ(out.row(0).value, 11.0);
+  EXPECT_EQ(out.row(0).key, 42u);
 }
 
 TEST(WindowJoinTest, TimerExpiresOldState) {
@@ -164,21 +164,22 @@ TEST(WindowJoinTest, TimerExpiresOldState) {
 }
 
 TEST(RecordBatchTest, MoveAppendStealsOrCopies) {
-  // Steal path: appending into an empty batch swaps buffers.
+  // Steal path: appending into an empty batch swaps column buffers.
   RecordBatch a;
   a.add(make_record(1.0));
   a.add(make_record(2.0));
-  const Record* old_data = a.records().data();
+  const double* old_data = a.values().data();
   RecordBatch b;
   b.append(std::move(a));
   EXPECT_EQ(b.size(), 2u);
   EXPECT_EQ(b.wire_size(), Bytes::of(200));
-  EXPECT_EQ(b.records().data(), old_data);
+  EXPECT_EQ(b.values().data(), old_data);
   EXPECT_TRUE(a.empty());
   EXPECT_TRUE(a.wire_size().is_zero());
 
   // Copy path: appending into a non-empty batch keeps the destination
-  // buffer and still clears the source.
+  // buffer and still clears the source — which must RETAIN its capacity so
+  // the runtime can recycle it into the batch pool.
   RecordBatch c;
   c.add(make_record(3.0));
   c.append(std::move(b));
@@ -186,6 +187,37 @@ TEST(RecordBatchTest, MoveAppendStealsOrCopies) {
   EXPECT_EQ(c.wire_size(), Bytes::of(300));
   EXPECT_TRUE(b.empty());
   EXPECT_TRUE(b.wire_size().is_zero());
+  EXPECT_GT(b.capacity(), 0u);
+}
+
+TEST(RecordBatchTest, MoveAppendLeavesSourceRecyclable) {
+  // The steal path hands the source this batch's old buffers: move-append
+  // a full batch into an empty-but-reserved one and the full batch should
+  // come back holding the reserved capacity, not zero.
+  RecordBatch pooled;
+  pooled.reserve(64);
+  RecordBatch incoming;
+  incoming.add(make_record(1.0));
+  pooled.append(std::move(incoming));
+  EXPECT_EQ(pooled.size(), 1u);
+  EXPECT_TRUE(incoming.empty());
+  EXPECT_GE(incoming.capacity(), 64u);
+}
+
+TEST(RecordBatchTest, CompactKeepsMaskedRowsAndWireTotal) {
+  RecordBatch b;
+  for (int i = 0; i < 6; ++i) {
+    b.add(make_record(static_cast<double>(i), static_cast<std::uint64_t>(i)));
+  }
+  const std::vector<std::uint8_t> keep = {1, 0, 1, 0, 0, 1};
+  b.compact(keep.data());
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_DOUBLE_EQ(b.row(0).value, 0.0);
+  EXPECT_DOUBLE_EQ(b.row(1).value, 2.0);
+  EXPECT_DOUBLE_EQ(b.row(2).value, 5.0);
+  EXPECT_EQ(b.row(2).key, 5u);
+  EXPECT_EQ(b.wire_size(), Bytes::of(300));
+  EXPECT_EQ(b.recompute_wire_size(), Bytes::of(300));
 }
 
 // ---------------------------------------------------------------------------
@@ -246,9 +278,9 @@ TEST(TopKTest, TieBreaksTowardSmallerKeyRegardlessOfArrivalOrder) {
   RecordBatch out;
   op.on_timer(SimTime::epoch() + SimDuration::seconds(10), out);
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(out.records()[0].key, 2u);
-  EXPECT_EQ(out.records()[1].key, 5u);
-  EXPECT_DOUBLE_EQ(out.records()[0].value, 2.0);  // count of key 2
+  EXPECT_EQ(out.row(0).key, 2u);
+  EXPECT_EQ(out.row(1).key, 5u);
+  EXPECT_DOUBLE_EQ(out.row(0).value, 2.0);  // count of key 2
 
   // Same weights arriving in ascending order give the identical result.
   TopKOperator op2("top", SimDuration::seconds(10), /*k=*/2);
@@ -261,8 +293,8 @@ TEST(TopKTest, TieBreaksTowardSmallerKeyRegardlessOfArrivalOrder) {
   RecordBatch out2;
   op2.on_timer(SimTime::epoch() + SimDuration::seconds(10), out2);
   ASSERT_EQ(out2.size(), 2u);
-  EXPECT_EQ(out2.records()[0].key, 2u);
-  EXPECT_EQ(out2.records()[1].key, 5u);
+  EXPECT_EQ(out2.row(0).key, 2u);
+  EXPECT_EQ(out2.row(1).key, 5u);
 }
 
 // ---------------------------------------------------------------------------
