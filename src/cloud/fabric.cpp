@@ -143,6 +143,70 @@ Region Fabric::node_region(NodeId node) const {
   return nodes_[node].region;
 }
 
+void Fabric::set_link_chaos_scale(Region a, Region b, double scale, bool abort_flows) {
+  SAGE_CHECK(scale >= 0.0);
+  const std::size_t link = pair_link(a, b);
+  if (chaos_scale_.empty()) {
+    if (scale == 1.0 && !abort_flows) return;  // restore before any fault: no-op
+    chaos_scale_.assign(wan_links_, 1.0);
+  }
+  if (chaos_scale_[link] == scale && !abort_flows) return;
+  // Same shape as set_node_failed: bring every active flow current at the
+  // old rates, mutate, abort doomed flows in id order, then re-settle.
+  auto flows = take_ptrs();
+  collect_all_active(flows);
+  advance_flows(flows);
+  chaos_scale_[link] = scale;
+  if (abort_flows) {
+    auto doomed = take_ids();
+    for (const auto& [id, f] : flows_) {
+      if (f.links[1] == link) doomed.push_back(id);
+    }
+    std::sort(doomed.begin(), doomed.end());
+    for (FlowId id : doomed) finish_flow(id, FlowOutcome::kFailed);
+    put_ids(std::move(doomed));
+  }
+  collect_all_active(flows);  // membership changed; re-snapshot
+  settle_flows(flows);
+  put_ptrs(std::move(flows));
+}
+
+void Fabric::set_link_chaos_latency(Region a, Region b, SimDuration extra) {
+  SAGE_CHECK(!extra.is_negative());
+  const std::size_t link = pair_link(a, b);
+  if (chaos_latency_.empty()) {
+    if (extra <= SimDuration::zero()) return;
+    chaos_latency_.assign(wan_links_, SimDuration::zero());
+  }
+  chaos_latency_[link] = extra;
+}
+
+std::size_t Fabric::chaos_drop_pair_flows(Region a, Region b, std::size_t max_flows) {
+  const std::size_t link = pair_link(a, b);
+  auto doomed = take_ids();
+  for (const auto& [id, f] : flows_) {
+    if (f.links[1] == link) doomed.push_back(id);
+  }
+  std::sort(doomed.begin(), doomed.end());
+  if (doomed.size() > max_flows) doomed.resize(max_flows);
+  std::size_t dropped = 0;
+  if (!doomed.empty()) {
+    auto flows = take_ptrs();
+    collect_all_active(flows);
+    advance_flows(flows);
+    for (FlowId id : doomed) {
+      if (flows_.count(id) == 0) continue;  // the advance completed it first
+      finish_flow(id, FlowOutcome::kFailed);
+      ++dropped;
+    }
+    collect_all_active(flows);
+    settle_flows(flows);
+    put_ptrs(std::move(flows));
+  }
+  put_ids(std::move(doomed));
+  return dropped;
+}
+
 ByteRate Fabric::link_capacity_now(std::size_t link) {
   if (link < wan_links_) {
     auto& model = pair_models_[link];
@@ -150,7 +214,12 @@ ByteRate Fabric::link_capacity_now(std::size_t link) {
       const PairLinkSpec& spec = topology_->edges()[link].spec;
       model.emplace(spec.capacity, spec.variability, rng_.fork());
     }
-    return model->capacity_at(engine_.now());
+    ByteRate cap = model->capacity_at(engine_.now());
+    // Chaos overlay (empty until the first injected fault): downed links
+    // scale to zero, squeezed links to a fraction. Applied after the model
+    // so the underlying capacity process (and its RNG) is undisturbed.
+    if (!chaos_scale_.empty()) cap = cap * chaos_scale_[link];
+    return cap;
   }
   const std::size_t rel = link - wan_links_;
   const NodeId node = static_cast<NodeId>(rel / 2);
@@ -234,7 +303,8 @@ FlowId Fabric::start_flow(NodeId src, NodeId dst, Bytes size, FlowOptions option
     obs_->bytes_offered->add(static_cast<std::uint64_t>(size.count()));
   }
 
-  const SimDuration setup = spec.latency + options.extra_setup_latency;
+  SimDuration setup = spec.latency + options.extra_setup_latency;
+  if (!chaos_latency_.empty()) setup += chaos_latency_[pair];
   engine_.schedule_after(setup, [this, id] {
     auto it = flows_.find(id);
     if (it == flows_.end()) return;  // cancelled during setup

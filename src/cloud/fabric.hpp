@@ -97,6 +97,34 @@ class Fabric {
   void set_node_failed(NodeId node, bool failed);
   [[nodiscard]] bool node_failed(NodeId node) const;
   [[nodiscard]] Region node_region(NodeId node) const;
+  [[nodiscard]] NodeId node_count() const {
+    return static_cast<NodeId>(nodes_.size());
+  }
+
+  // -- Fault injection (chaos layer) ---------------------------------------
+  //
+  // Chaos state is lazily allocated: until the first mutation the vectors
+  // below stay empty and the hot paths take one untaken `!empty()` branch,
+  // so a chaos-free run is byte-identical to a build without these hooks.
+
+  /// Scale the declared (a, b) pair link's capacity by `scale` (0 downs the
+  /// link). Follows the set_node_failed pattern: advance flows at old rates,
+  /// mutate, then either abort crossing flows in id order (`abort_flows`,
+  /// completion callbacks fire with kFailed) or strand them — a zero-capacity
+  /// link settles crossing flows to rate 0 and cancels their completion
+  /// events; they resume when the link is restored. CHECK-fails for
+  /// undeclared pairs (callers gate on topology().has_link).
+  void set_link_chaos_scale(Region a, Region b, double scale, bool abort_flows);
+
+  /// Extra setup latency added to every new flow crossing (a, b); zero
+  /// restores the healthy path. In-flight flows are unaffected.
+  void set_link_chaos_latency(Region a, Region b, SimDuration extra);
+
+  /// Abort up to `max_flows` in-flight flows crossing (a, b), smallest flow
+  /// id first (deterministic); their callbacks fire with kFailed, which is
+  /// what drives the transfer layer's retransmission paths. Returns the
+  /// number aborted.
+  std::size_t chaos_drop_pair_flows(Region a, Region b, std::size_t max_flows);
 
   // -- Flows ---------------------------------------------------------------
 
@@ -274,6 +302,12 @@ class Fabric {
 
   // Pair-link capacity models, created lazily per declared edge.
   std::vector<std::optional<LinkCapacityModel>> pair_models_;  // sized wan_links_
+
+  // Chaos overlays, empty until the first fault (see the public section).
+  // When present: chaos_scale_ multiplies link_capacity_now per link id;
+  // chaos_latency_ adds setup latency per pair link id.
+  std::vector<double> chaos_scale_;
+  std::vector<SimDuration> chaos_latency_;
 
   std::unordered_map<FlowId, Flow> flows_;  // node-based: Flow* stay stable
   FlowId next_flow_id_ = 1;

@@ -212,6 +212,13 @@ void MonitoringService::report_transfer_observation(cloud::Region src, cloud::Re
   if (LinkMonitor* link = find_link(src, dst)) ingest(*link, per_flow.to_mb_per_sec());
 }
 
+bool MonitoringService::inject_sample(cloud::Region src, cloud::Region dst, double mbps) {
+  LinkMonitor* link = find_link(src, dst);
+  if (link == nullptr) return false;
+  ingest(*link, mbps);
+  return true;
+}
+
 LinkEstimate MonitoringService::estimate(cloud::Region src, cloud::Region dst) const {
   if (const LinkMonitor* link = find_link(src, dst)) {
     return LinkEstimate{link->estimator->mean(), link->estimator->stddev(),

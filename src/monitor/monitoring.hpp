@@ -145,6 +145,13 @@ class MonitoringService {
   void report_transfer_observation(cloud::Region src, cloud::Region dst,
                                    ByteRate per_flow);
 
+  /// Fault-injection path (chaos layer): force a raw sample of `mbps` into
+  /// the pair's estimator through the normal ingestion pipeline — history,
+  /// sample hook and the monotone sample epoch all advance exactly as for a
+  /// real probe, so poisoned maps stay internally consistent. Returns false
+  /// (and does nothing) when the pair is unmonitored.
+  bool inject_sample(cloud::Region src, cloud::Region dst, double mbps);
+
   [[nodiscard]] LinkEstimate estimate(cloud::Region src, cloud::Region dst) const;
 
   /// The current throughput map. Served from an epoch-validated cache: when

@@ -187,6 +187,10 @@ void WindowAggregateOperator::process(int port, const RecordBatch& in, RecordBat
   // Keyed gather: read the three touched columns directly instead of
   // materializing 32-byte Records (the wire column is dead here).
   const std::size_t n = in.size();
+  // Presize the keyed state for the all-new-keys worst case so the gather
+  // loop never rehashes mid-batch; FlatMap keeps capacity across window
+  // flushes, so a steady-state pipeline pays the growth once.
+  state_.reserve(state_.size() + n);
   const std::uint64_t* keys = in.keys().data();
   const double* values = in.values().data();
   const SimTime* times = in.event_times().data();

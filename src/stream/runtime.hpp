@@ -33,6 +33,7 @@
 #include <optional>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "cloud/provider.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -61,6 +62,11 @@ struct RuntimeConfig {
   /// like fusion itself, this is a wall-clock knob only. Defaults from the
   /// `SAGE_SOA` environment variable (on unless set to "0").
   bool soa_kernels = soa_kernels_enabled();
+  /// Fault-injection layer armed for this world: benches consult it to
+  /// decide whether to attach a ChaosController. Defaults from the
+  /// `SAGE_CHAOS` environment variable (off unless set to "1"); when off,
+  /// no controller exists and runs are byte-identical to a chaos-free build.
+  bool chaos = chaos::chaos_enabled();
 };
 
 struct SinkStats {
