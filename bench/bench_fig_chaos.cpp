@@ -19,6 +19,11 @@
 //      checker at the end; every row prints identical numbers (faults are
 //      lane-local events, serialized like traffic) and CI diffs the stdout
 //      across harness thread counts.
+//   C5 sharded control plane — full deploy_sage scenarios (the whole SAGE
+//      stack, not just the fabric) on core::ShardedSage at S in {1, 2, 4},
+//      same fault schedule on every lane, plus a `plain` unsharded-baseline
+//      row; S rows are byte-identical and CI diffs the stdout across
+//      SAGE_PAR_SHARDS and harness thread counts.
 //
 // Chaos here is enabled explicitly per controller — this binary IS the
 // chaos experiment. The ambient SAGE_CHAOS gate governs ordinary worlds;
@@ -436,11 +441,241 @@ void run_c4(BenchContext& ctx) {
       "off every row.");
 }
 
+// ---------------------------------------------------------------------------
+// C5: the full SAGE control plane, sharded, under fire.
+// ---------------------------------------------------------------------------
+
+struct PlaneCell {
+  std::size_t shards = 0;  // 0 = the plain unsharded SageEngine baseline
+};
+
+struct PlaneResult {
+  int issued = 0;
+  int completed = 0;
+  int ok = 0;
+  double sum_elapsed_s = 0.0;
+  std::uint64_t chunks = 0;
+  std::uint64_t retrans = 0;
+  int replans = 0;
+  std::uint64_t faults = 0;   // per-lane (identical on every lane)
+  std::uint64_t reverts = 0;  // per-lane
+  bool epochs_ok = false;
+  bool plain = false;
+};
+
+/// The C5 fault schedule, shared by the sharded runs and the plain baseline.
+/// Smoke compresses the fault times so they still land inside the (much
+/// shorter) send schedule — the CI determinism diff must exercise the
+/// chaos-on plane, not a healthy run that drains before the first fault.
+FaultPlan plane_plan(SimTime t0, bool smoke) {
+  FaultPlan fplan;
+  fplan.region_outage(t0 + (smoke ? SimDuration::seconds(25)
+                                  : SimDuration::minutes(5)),
+                      kRelay,
+                      smoke ? SimDuration::minutes(2) : SimDuration::minutes(8));
+  fplan.capacity_squeeze(t0 + (smoke ? SimDuration::seconds(90)
+                                     : SimDuration::minutes(12)),
+                         kSrc, kDst, 0.4,
+                         smoke ? SimDuration::minutes(2)
+                               : SimDuration::minutes(10));
+  fplan.poison_estimator(t0 + (smoke ? SimDuration::minutes(2)
+                                     : SimDuration::minutes(16)),
+                         kSrc, kDst, 900.0, 3);
+  return fplan;
+}
+
+/// The unsharded baseline: the identical send schedule and fault plan driven
+/// through a plain single-engine SageEngine (relay-capable plans, shared
+/// long-lived endpoints, global fabric settlement). This is the control
+/// plane a deploy_sage user runs today; the wall-clock delta against the
+/// sharded rows is the number BENCH_PR10 records.
+PlaneResult run_plane_plain(int sends, int payload_mb, bool smoke) {
+  World world(91, /*stable=*/true);
+  SageDeployOptions opts;
+  opts.regions = world.provider->topology().regions();
+  auto sage = deploy_sage(world, opts);
+  const SimTime t0 = world.engine.now();
+
+  ChaosController chaos(
+      world.engine,
+      ChaosTargets{&world.provider->fabric(), &sage->monitoring()},
+      plane_plan(t0, smoke), /*enabled=*/true);
+
+  std::vector<std::pair<Region, Region>> pairs;
+  for (const cloud::Topology::Edge& e : world.provider->topology().edges()) {
+    if (e.src != e.dst) pairs.emplace_back(e.src, e.dst);
+  }
+  int done = 0;
+  for (int i = 0; i < sends; ++i) {
+    const auto [a, b] = pairs[static_cast<std::size_t>(i * 3) % pairs.size()];
+    const Bytes payload = Bytes::mb(payload_mb + (i % 5) * 16);
+    world.engine.schedule_after(
+        SimDuration::seconds((smoke ? 10 : 3) * i),
+        [&sage, &done, a, b, payload] {
+          sage->send_with(model::Tradeoff::fastest(), a, b, payload,
+                          [&done](const stream::SendOutcome&) { ++done; });
+        });
+  }
+  const SimDuration quantum = SimDuration::minutes(1);
+  const SimDuration budget = SimDuration::hours(3);
+  SimDuration waited = SimDuration::zero();
+  while (done < sends && waited < budget) {
+    world.run_for(quantum);
+    waited = waited + quantum;
+  }
+
+  PlaneResult out;
+  out.plain = true;
+  out.issued = sends;
+  out.completed = done;
+  for (const core::SendRecord& rec : sage->history()) {
+    if (rec.ok) ++out.ok;
+    out.sum_elapsed_s += rec.elapsed.to_seconds();
+    out.chunks += static_cast<std::uint64_t>(rec.stats.chunks_delivered);
+    out.retrans += static_cast<std::uint64_t>(rec.stats.retransmissions);
+    out.replans += rec.replans;
+  }
+  out.faults = chaos.faults_applied();
+  out.reverts = chaos.reverts_applied();
+  harness::report_task_records(out.chunks);
+  harness::report_task_shards(0);
+  return out;
+}
+
+PlaneResult run_plane(const PlaneCell& c, int sends, int payload_mb,
+                      bool smoke) {
+  if (c.shards == 0) return run_plane_plain(sends, payload_mb, smoke);
+  const auto topo =
+      std::make_shared<const cloud::Topology>(cloud::stable_topology());
+  SageDeployOptions opts;
+  opts.regions = topo->regions();
+  auto sage = deploy_sharded_sage(topo, 91, opts, static_cast<int>(c.shards));
+  const SimTime t0 = sage->engine().shard(0).now();
+
+  // Chaos, through the per-lane targets of the sharded controller: a region
+  // outage lands mid-transfer (killing the owned transfers' ephemeral
+  // endpoints and scatter helpers — those sends fail over or fail cleanly,
+  // and self-healing replaces the pools), a capacity squeeze bends the
+  // busiest link's rates, and an estimator poisoning feeds every lane's map
+  // the same garbage through the normal ingestion path.
+  FaultPlan fplan = plane_plan(t0, smoke);
+  std::vector<ChaosTargets> targets;
+  for (std::size_t l = 0; l < sage->lane_count(); ++l) {
+    targets.push_back(
+        ChaosTargets{&sage->provider(l).fabric(), &sage->lane(l).monitoring()});
+  }
+  ChaosController chaos(sage->engine(), std::move(targets), std::move(fplan),
+                        /*enabled=*/true);
+
+  std::vector<std::pair<Region, Region>> pairs;
+  for (const cloud::Topology::Edge& e : topo->edges()) {
+    if (e.src != e.dst) pairs.emplace_back(e.src, e.dst);
+  }
+
+  // A staggered schedule of full control-plane sends (widest tradeoff, so
+  // every transfer fans out over its scatter helpers) keeps a standing
+  // population of concurrent flows in every lane's fabric — the settlement
+  // load the shard partition divides. Completion lands on the owning lane;
+  // tallies are per-lane and summed only between run_for windows.
+  struct alignas(64) LaneDone {
+    int done = 0;
+  };
+  std::vector<LaneDone> done(sage->lane_count());
+  core::ShardedSage* plane = sage.get();
+  for (int i = 0; i < sends; ++i) {
+    // Stride 3 spreads the schedule over source regions (so several lanes
+    // own work at S=4) and lands sends on the outage region mid-fault.
+    const auto [a, b] = pairs[static_cast<std::size_t>(i * 3) % pairs.size()];
+    const std::size_t l = sage->lane_of(a);
+    const Bytes payload = Bytes::mb(payload_mb + (i % 5) * 16);
+    // Smoke staggers sends far enough apart to stay quick; the full run packs
+    // them so a large standing flow population contends in every lane — the
+    // settlement load the shard partition divides.
+    sage->engine().shard(l).schedule_after(
+        SimDuration::seconds((smoke ? 10 : 3) * i),
+        [plane, &done, l, a, b, payload] {
+          plane->send(a, b, payload, model::Tradeoff::fastest(),
+                      [&done, l](const stream::SendOutcome&) { ++done[l].done; });
+        });
+  }
+
+  const SimDuration quantum = SimDuration::minutes(1);
+  const SimDuration budget = SimDuration::hours(3);
+  SimDuration waited = SimDuration::zero();
+  auto total_done = [&] {
+    int n = 0;
+    for (const LaneDone& d : done) n += d.done;
+    return n;
+  };
+  while (total_done() < sends && waited < budget) {
+    sage->run_for(quantum);
+    waited = waited + quantum;
+  }
+
+  PlaneResult out;
+  out.issued = sends;
+  out.completed = total_done();
+  for (std::size_t l = 0; l < sage->lane_count(); ++l) {
+    for (const core::SendRecord& rec : sage->lane(l).history()) {
+      if (rec.ok) ++out.ok;
+      out.sum_elapsed_s += rec.elapsed.to_seconds();
+      out.chunks += static_cast<std::uint64_t>(rec.stats.chunks_delivered);
+      out.retrans += static_cast<std::uint64_t>(rec.stats.retransmissions);
+      out.replans += rec.replans;
+    }
+  }
+  out.faults = chaos.faults_applied() / sage->lane_count();
+  out.reverts = chaos.reverts_applied() / sage->lane_count();
+  out.epochs_ok = sage->epochs_consistent();
+  harness::report_task_records(out.chunks);
+  harness::report_task_shards(static_cast<int>(c.shards));
+  return out;
+}
+
+void run_c5(BenchContext& ctx) {
+  const int sends = ctx.smoke() ? 12 : 96;
+  const int payload_mb = ctx.smoke() ? 48 : 192;
+  const std::vector<PlaneCell> grid = {{0}, {1}, {2}, {4}};
+  const bool smoke = ctx.smoke();
+  const auto results = ctx.sweep(
+      "chaos-plane", grid, [sends, payload_mb, smoke](const PlaneCell& c) {
+        return run_plane(c, sends, payload_mb, smoke);
+      });
+
+  TextTable t({"Shards", "Sends", "Done", "OK", "Sum elapsed s", "Chunks",
+               "Retrans", "Replans", "Faults", "Reverts", "Epochs"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const PlaneResult& r = results[i];
+    t.add_row({r.plain ? "plain" : std::to_string(grid[i].shards),
+               std::to_string(r.issued), std::to_string(r.completed),
+               std::to_string(r.ok), TextTable::num(r.sum_elapsed_s, 1),
+               std::to_string(r.chunks), std::to_string(r.retrans),
+               std::to_string(r.replans), std::to_string(r.faults),
+               std::to_string(r.reverts),
+               r.plain ? "n/a" : (r.epochs_ok ? "lock-step" : "DIVERGED")});
+  }
+  print_table(t);
+  print_note(
+      "\nC5: full deploy_sage scenarios (monitoring + tradeoff + planner + "
+      "adaptive transfers + self-healing) on the region-sharded engine with "
+      "the same fault schedule applied to every lane. The `plain` row drives "
+      "the identical send schedule and fault plan through today's unsharded "
+      "SageEngine — relay-capable plans and shared long-lived endpoints, so "
+      "its numbers legitimately differ; its --json wall clock is the "
+      "baseline the sharded rows are measured against. The S rows are "
+      "identical to each other because activity is partitioned by "
+      "source-region ownership, samples reach every lane at one uniform "
+      "report delay, and faults serialize with traffic inside each lane — "
+      "so the per-lane sample epochs stay in lock-step and every control "
+      "decision replays at any shard count.");
+}
+
 void run(BenchContext& ctx) {
   run_c1(ctx);
   run_c2(ctx);
   run_c3(ctx);
   run_c4(ctx);
+  run_c5(ctx);
 }
 
 }  // namespace

@@ -26,6 +26,7 @@
 #include "common/table.hpp"
 #include "common/units.hpp"
 #include "core/sage.hpp"
+#include "core/sharded_sage.hpp"
 #include "harness/scenario.hpp"
 #include "net/transfer.hpp"
 #include "obs/obs.hpp"
@@ -151,6 +152,50 @@ inline std::unique_ptr<core::SageEngine> deploy_sage(World& world,
   return engine;
 }
 
+/// Build a full sharded SAGE deployment (one control-plane replica per
+/// engine lane, activity partitioned by source-region ownership — see
+/// core::ShardedSage) over a shared stable topology, then warm the map.
+/// shards <= 1 collapses to one plain lane.
+inline std::unique_ptr<core::ShardedSage> deploy_sharded_sage(
+    std::shared_ptr<const cloud::Topology> topology, std::uint64_t seed,
+    const SageDeployOptions& opts, int shards) {
+  core::SageConfig config;
+  config.regions = opts.regions;
+  config.agent_vm = opts.agent_vm;
+  config.gateways_per_region = opts.gateways_per_region;
+  config.helpers_per_region = opts.helpers_per_region;
+  config.monitoring.probe_interval = opts.probe_interval;
+  core::ShardedSage::Options sharded;
+  sharded.shards = shards <= 1 ? 1 : static_cast<std::size_t>(shards);
+  auto sage = std::make_unique<core::ShardedSage>(std::move(topology), seed,
+                                                  config, sharded);
+  sage->deploy();
+  sage->run_for(opts.warmup);
+  return sage;
+}
+
+/// Blocking send on a sharded deployment. The wait advances sim time in
+/// fixed quanta, so the stopping time is a deterministic function of sim
+/// state — never of lane interleaving — and the printed outcome (captured
+/// in the completion callback) is shard-count invariant.
+inline stream::SendOutcome sharded_send_blocking(
+    core::ShardedSage& sage, cloud::Region src, cloud::Region dst, Bytes size,
+    const model::Tradeoff& tradeoff, SimDuration budget = SimDuration::days(2),
+    SimDuration quantum = SimDuration::seconds(10)) {
+  stream::SendOutcome out{};
+  bool done = false;
+  sage.send(src, dst, size, tradeoff, [&](const stream::SendOutcome& o) {
+    out = o;
+    done = true;
+  });
+  SimDuration waited = SimDuration::zero();
+  while (!done && waited < budget) {
+    sage.run_for(quantum);
+    waited = waited + quantum;
+  }
+  return out;
+}
+
 /// Source + destination endpoints plus `vms` sender lanes: lane 0 direct,
 /// lanes 1..vms-1 each relaying through a fresh helper in the source region.
 struct LaneFan {
@@ -235,6 +280,10 @@ class BenchContext {
       }
     }
     if (shards_ < 0) shards_ = 0;
+    // Default `shards` attribution for every --json task record; sharded
+    // sweeps that mix shard counts override per task via
+    // harness::report_task_shards.
+    runner_.set_shards(shards());
     print_header(id, title);
   }
 

@@ -115,8 +115,23 @@ void Fabric::set_node_failed(NodeId node, bool failed) {
   SAGE_CHECK(node < nodes_.size());
   if (nodes_[node].failed == failed) return;
   auto flows = take_ptrs();
-  collect_all_active(flows);
+  if (grid_refresh_) {
+    // Scoped mutation (grid mode): only components touching the node's NIC
+    // links can see a rate change, so only they are brought current. This
+    // keeps lane-local events — a transfer releasing its ephemeral
+    // endpoints calls this with zero flows left on the node — from adding
+    // advancement points (and byte-truncation drift) to unrelated
+    // components, which is what shard-count invariance rests on.
+    collect_link_components({wan_links_ + static_cast<std::size_t>(node) * 2,
+                             wan_links_ + static_cast<std::size_t>(node) * 2 + 1},
+                            flows);
+  } else {
+    collect_all_active(flows);
+  }
   advance_flows(flows);
+  auto ids = take_ids();
+  ids.reserve(flows.size());
+  for (const Flow* fp : flows) ids.push_back(fp->id);
   nodes_[node].failed = failed;
   if (failed) {
     auto doomed = take_ids();
@@ -128,7 +143,12 @@ void Fabric::set_node_failed(NodeId node, bool failed) {
     for (FlowId id : doomed) finish_flow(id, FlowOutcome::kFailed);
     put_ids(std::move(doomed));
   }
-  collect_all_active(flows);  // membership changed; re-snapshot
+  if (grid_refresh_) {
+    resolve_live(ids, flows);  // membership changed; drop the aborted flows
+  } else {
+    collect_all_active(flows);  // membership changed; re-snapshot
+  }
+  put_ids(std::move(ids));
   settle_flows(flows);
   put_ptrs(std::move(flows));
 }
@@ -151,11 +171,18 @@ void Fabric::set_link_chaos_scale(Region a, Region b, double scale, bool abort_f
     chaos_scale_.assign(wan_links_, 1.0);
   }
   if (chaos_scale_[link] == scale && !abort_flows) return;
-  // Same shape as set_node_failed: bring every active flow current at the
+  // Same shape as set_node_failed: bring the affected flows current at the
   // old rates, mutate, abort doomed flows in id order, then re-settle.
   auto flows = take_ptrs();
-  collect_all_active(flows);
+  if (grid_refresh_) {
+    collect_link_components({link}, flows);  // scoped, see set_node_failed
+  } else {
+    collect_all_active(flows);
+  }
   advance_flows(flows);
+  auto ids = take_ids();
+  ids.reserve(flows.size());
+  for (const Flow* fp : flows) ids.push_back(fp->id);
   chaos_scale_[link] = scale;
   if (abort_flows) {
     auto doomed = take_ids();
@@ -166,7 +193,12 @@ void Fabric::set_link_chaos_scale(Region a, Region b, double scale, bool abort_f
     for (FlowId id : doomed) finish_flow(id, FlowOutcome::kFailed);
     put_ids(std::move(doomed));
   }
-  collect_all_active(flows);  // membership changed; re-snapshot
+  if (grid_refresh_) {
+    resolve_live(ids, flows);
+  } else {
+    collect_all_active(flows);  // membership changed; re-snapshot
+  }
+  put_ids(std::move(ids));
   settle_flows(flows);
   put_ptrs(std::move(flows));
 }
@@ -192,14 +224,26 @@ std::size_t Fabric::chaos_drop_pair_flows(Region a, Region b, std::size_t max_fl
   std::size_t dropped = 0;
   if (!doomed.empty()) {
     auto flows = take_ptrs();
-    collect_all_active(flows);
+    if (grid_refresh_) {
+      collect_link_components({link}, flows);  // scoped, see set_node_failed
+    } else {
+      collect_all_active(flows);
+    }
     advance_flows(flows);
+    auto ids = take_ids();
+    ids.reserve(flows.size());
+    for (const Flow* fp : flows) ids.push_back(fp->id);
     for (FlowId id : doomed) {
       if (flows_.count(id) == 0) continue;  // the advance completed it first
       finish_flow(id, FlowOutcome::kFailed);
       ++dropped;
     }
-    collect_all_active(flows);
+    if (grid_refresh_) {
+      resolve_live(ids, flows);
+    } else {
+      collect_all_active(flows);
+    }
+    put_ids(std::move(ids));
     settle_flows(flows);
     put_ptrs(std::move(flows));
   }
@@ -429,6 +473,36 @@ void Fabric::collect_component(FlowId origin, std::vector<Flow*>& out) {
   }
 }
 
+void Fabric::collect_link_components(std::initializer_list<std::size_t> seeds,
+                                     std::vector<Flow*>& out) {
+  out.clear();
+  if (++visit_epoch_ == 0) {  // stamp wrap: reset marks once per ~4e9 events
+    std::fill(link_visit_.begin(), link_visit_.end(), 0u);
+    for (auto& [id, f] : flows_) f.visit = 0;
+    visit_epoch_ = 1;
+  }
+  link_queue_.clear();
+  for (std::size_t l : seeds) {
+    if (link_visit_[l] != visit_epoch_) {
+      link_visit_[l] = visit_epoch_;
+      link_queue_.push_back(l);
+    }
+  }
+  for (std::size_t head = 0; head < link_queue_.size(); ++head) {
+    for (Flow* g : link_flows_[link_queue_[head]]) {
+      if (g->visit == visit_epoch_) continue;
+      g->visit = visit_epoch_;
+      out.push_back(g);
+      for (std::size_t l : g->links) {
+        if (link_visit_[l] != visit_epoch_) {
+          link_visit_[l] = visit_epoch_;
+          link_queue_.push_back(l);
+        }
+      }
+    }
+  }
+}
+
 void Fabric::collect_all_active(std::vector<Flow*>& out) {
   out.assign(active_flows_.begin(), active_flows_.end());
 }
@@ -574,56 +648,110 @@ void Fabric::settle_flows(const std::vector<Flow*>& flows) {
   std::sort(touched_links_.begin(), touched_links_.end());
 
   // Progressive water-filling with per-flow demand ceilings.
-  while (!unsettled_.empty()) {
-    double share = std::numeric_limits<double>::infinity();
-    std::size_t bottleneck = static_cast<std::size_t>(-1);
-    for (std::size_t l : touched_links_) {
-      if (link_count_[l] <= 0) continue;
-      const double s = std::max(link_avail_[l], 0.0) / static_cast<double>(link_count_[l]);
-      if (s < share) {
-        share = s;
-        bottleneck = l;
+  const auto water_fill = [this](std::vector<Flow*>& pool, const std::vector<std::size_t>& links) {
+    while (!pool.empty()) {
+      double share = std::numeric_limits<double>::infinity();
+      std::size_t bottleneck = static_cast<std::size_t>(-1);
+      for (std::size_t l : links) {
+        if (link_count_[l] <= 0) continue;
+        const double s = std::max(link_avail_[l], 0.0) / static_cast<double>(link_count_[l]);
+        if (s < share) {
+          share = s;
+          bottleneck = l;
+        }
       }
-    }
-    SAGE_CHECK(bottleneck != static_cast<std::size_t>(-1));
+      SAGE_CHECK(bottleneck != static_cast<std::size_t>(-1));
 
-    const auto settle_flow = [&](Flow* f, double rate) {
-      f->rate = ByteRate::bytes_per_sec(rate);
-      for (std::size_t l : f->links) {
-        link_avail_[l] -= rate;
-        --link_count_[l];
-      }
-    };
+      const auto settle_flow = [this](Flow* f, double rate) {
+        f->rate = ByteRate::bytes_per_sec(rate);
+        for (std::size_t l : f->links) {
+          link_avail_[l] -= rate;
+          --link_count_[l];
+        }
+      };
 
-    // Demand-limited flows settle below the fair share first.
-    still_.clear();
-    bool any_demand_limited = false;
-    for (Flow* f : unsettled_) {
-      const double demand = flow_demand(*f).bytes_per_second();
-      if (demand <= share + 1e-9) {
-        settle_flow(f, demand);
-        any_demand_limited = true;
-      } else {
-        still_.push_back(f);
+      // Demand-limited flows settle below the fair share first.
+      still_.clear();
+      bool any_demand_limited = false;
+      for (Flow* f : pool) {
+        const double demand = flow_demand(*f).bytes_per_second();
+        if (demand <= share + 1e-9) {
+          settle_flow(f, demand);
+          any_demand_limited = true;
+        } else {
+          still_.push_back(f);
+        }
       }
-    }
-    if (any_demand_limited) {
-      unsettled_.swap(still_);
-      continue;
-    }
+      if (any_demand_limited) {
+        pool.swap(still_);
+        continue;
+      }
 
-    // Otherwise the bottleneck link pins everyone crossing it at the share.
-    still_.clear();
-    for (Flow* f : unsettled_) {
-      const bool on_bottleneck =
-          f->links[0] == bottleneck || f->links[1] == bottleneck || f->links[2] == bottleneck;
-      if (on_bottleneck) {
-        settle_flow(f, share);
-      } else {
-        still_.push_back(f);
+      // Otherwise the bottleneck link pins everyone crossing it at the share.
+      still_.clear();
+      for (Flow* f : pool) {
+        const bool on_bottleneck =
+            f->links[0] == bottleneck || f->links[1] == bottleneck || f->links[2] == bottleneck;
+        if (on_bottleneck) {
+          settle_flow(f, share);
+        } else {
+          still_.push_back(f);
+        }
       }
+      pool.swap(still_);
     }
-    unsettled_.swap(still_);
+  };
+
+  if (!grid_refresh_) {
+    water_fill(unsettled_, touched_links_);
+  } else {
+    // Grid mode settles each link-connected component independently, in a
+    // canonical order (flow id within a component, link index for the
+    // bottleneck scan). The global rounds above pick the fair share off the
+    // minimum across ALL touched links, so a whole-fabric settle (refresh
+    // tick, chaos mutation) lets an unrelated component decide the round —
+    // and hence the floating-point subtraction order on link_avail_ — for
+    // this one. Component-local rounds make every flow's settled rate a
+    // function of its own component only, which is what makes completion
+    // times invariant under re-partitioning flows across lane fabrics.
+    if (++visit_epoch_ == 0) {
+      std::fill(link_visit_.begin(), link_visit_.end(), 0u);
+      for (auto& [id, f] : flows_) f.visit = 0;
+      visit_epoch_ = 1;
+    }
+    for (Flow* seed : unsettled_) {
+      if (seed->visit == visit_epoch_) continue;
+      comp_flows_.clear();
+      comp_links_.clear();
+      link_queue_.clear();
+      seed->visit = visit_epoch_;
+      comp_flows_.push_back(seed);
+      for (std::size_t l : seed->links) {
+        if (link_visit_[l] != visit_epoch_) {
+          link_visit_[l] = visit_epoch_;
+          link_queue_.push_back(l);
+        }
+      }
+      for (std::size_t head = 0; head < link_queue_.size(); ++head) {
+        const std::size_t l = link_queue_[head];
+        comp_links_.push_back(l);
+        for (Flow* g : link_flows_[l]) {
+          if (g->visit == visit_epoch_) continue;
+          g->visit = visit_epoch_;
+          comp_flows_.push_back(g);
+          for (std::size_t k : g->links) {
+            if (link_visit_[k] != visit_epoch_) {
+              link_visit_[k] = visit_epoch_;
+              link_queue_.push_back(k);
+            }
+          }
+        }
+      }
+      std::sort(comp_flows_.begin(), comp_flows_.end(),
+                [](const Flow* a, const Flow* b) { return a->id < b->id; });
+      std::sort(comp_links_.begin(), comp_links_.end());
+      water_fill(comp_flows_, comp_links_);
+    }
   }
 
   if (obs_) {
@@ -680,12 +808,25 @@ void Fabric::refresh_tick() {
   advance_flows(flows);
   settle_flows(flows);
   put_ptrs(std::move(flows));
-  refresh_event_ = engine_.schedule_after(refresh_period_, [this] { refresh_tick(); });
+  schedule_refresh();
 }
 
 void Fabric::ensure_refresh_running() {
   if (refresh_event_.pending()) return;
-  refresh_event_ = engine_.schedule_after(refresh_period_, [this] { refresh_tick(); });
+  schedule_refresh();
+}
+
+void Fabric::schedule_refresh() {
+  if (!grid_refresh_) {
+    refresh_event_ = engine_.schedule_after(refresh_period_, [this] { refresh_tick(); });
+    return;
+  }
+  // Grid mode: next tick at the next absolute multiple of the period, so
+  // every fabric sharing the grid advances flows at identical sim times no
+  // matter when (or how often) each one woke from dormancy.
+  const std::int64_t per = refresh_period_.count_micros();
+  const std::int64_t next = (engine_.now().count_micros() / per + 1) * per;
+  refresh_event_ = engine_.schedule_at(SimTime::from_micros(next), [this] { refresh_tick(); });
 }
 
 std::vector<FlowId> Fabric::take_ids() {

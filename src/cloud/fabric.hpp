@@ -171,6 +171,14 @@ class Fabric {
   /// Rate-settlement granularity (default 500 ms of simulated time).
   void set_refresh_period(SimDuration d) { refresh_period_ = d; }
 
+  /// Pin refresh ticks to absolute multiples of the refresh period instead
+  /// of phase-locking them to whichever flow woke the fabric. Byte progress
+  /// truncates to whole bytes at every advancement point, so the tick grid
+  /// is observable in completion times; a shared absolute grid makes them
+  /// independent of how flows are partitioned across fabrics. Sharded
+  /// scenario mode (core::ShardedSage) turns this on for every lane.
+  void set_refresh_grid(bool on) { grid_refresh_ = on; }
+
  private:
   // Link indexing: [0, wan_links_) are the topology's declared directed
   // edges in edge-id order (the diagonal entries hold intra-DC links), then
@@ -239,6 +247,13 @@ class Fabric {
   /// Snapshot of every active flow, in settlement order.
   void collect_all_active(std::vector<Flow*>& out);
 
+  /// Flood the link-connected components reachable from `seeds` (link ids),
+  /// collecting every active flow in them. Grid-mode mutators use this to
+  /// scope advance/settle to the flows a node/link change can actually
+  /// affect (see set_node_failed).
+  void collect_link_components(std::initializer_list<std::size_t> seeds,
+                               std::vector<Flow*>& out);
+
   /// Re-resolve `flows` to the subset of `ids` still alive (order kept).
   void resolve_live(const std::vector<FlowId>& ids, std::vector<Flow*>& flows);
 
@@ -258,6 +273,7 @@ class Fabric {
   void finish_flow(FlowId id, FlowOutcome outcome);
   void refresh_tick();
   void ensure_refresh_running();
+  void schedule_refresh();
   ByteRate link_capacity_now(std::size_t link);
 
   // Observability cells, resolved once in the constructor when the engine
@@ -290,6 +306,7 @@ class Fabric {
   std::size_t wan_links_ = 0;  // topology_->edges().size(); node links follow
   Rng rng_;
   SimDuration refresh_period_ = SimDuration::millis(500);
+  bool grid_refresh_ = false;
 
   std::vector<NodeInfo> nodes_;
   std::vector<ByteRate> node_up_;
@@ -337,6 +354,9 @@ class Fabric {
   std::vector<std::size_t> touched_links_;
   std::vector<Flow*> unsettled_;
   std::vector<Flow*> still_;
+  // Grid-mode component-local settlement scratch (see settle_flows).
+  std::vector<Flow*> comp_flows_;
+  std::vector<std::size_t> comp_links_;
   std::vector<Flow*> to_reschedule_;
   std::vector<double> old_rates_;  // parallel to to_reschedule_
 

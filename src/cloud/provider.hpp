@@ -40,6 +40,11 @@ class CloudProvider {
   /// derives from `seed`.
   CloudProvider(sim::SimEngine& engine, Topology topology, std::uint64_t seed);
 
+  /// Shared-topology overload for sharded deployments: S per-lane providers
+  /// reference one immutable Topology instead of carrying S copies.
+  CloudProvider(sim::SimEngine& engine, std::shared_ptr<const Topology> topology,
+                std::uint64_t seed);
+
   // -- VM lifecycle ----------------------------------------------------------
 
   /// Lease one VM; billing starts immediately.

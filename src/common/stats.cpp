@@ -57,12 +57,16 @@ void Ewma::add(double x) {
 
 namespace {
 
-// At most a handful of large spares per thread: big enough to cover the
-// sink + harness sample sets alive at once, small enough that the retained
-// memory stays bounded (a few multi-MB buffers). Tiny buffers are not worth
-// pooling — the heap recycles them without touching the OS.
-constexpr std::size_t kMinPooledSampleCapacity = 4096;
-constexpr std::size_t kMaxPooledSampleBuffers = 8;
+// A bounded set of spares per thread: big enough to cover the sink +
+// harness sample sets alive at once, small enough that the retained memory
+// stays bounded (a few multi-MB buffers). The capacity floor keeps truly
+// tiny buffers (the heap recycles those without touching the OS) out of the
+// pool while still retaining the ~1k-sample sets a harness task churns per
+// grid point — at high task counts their repeated grow-from-zero was a
+// measurable mmap/minor-fault tax, so a sweep's worker reuses one warm
+// buffer across tasks instead.
+constexpr std::size_t kMinPooledSampleCapacity = 512;
+constexpr std::size_t kMaxPooledSampleBuffers = 16;
 thread_local std::vector<std::vector<double>> g_spare_sample_buffers;
 
 }  // namespace

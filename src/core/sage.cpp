@@ -78,9 +78,13 @@ void SageEngine::shutdown() {
   pool_.release_all();
 }
 
-sched::Inventory SageEngine::inventory() const {
+sched::Inventory SageEngine::inventory(cloud::Region src, cloud::Region dst) const {
   sched::Inventory inv{};
   for (cloud::Region r : config_.regions) {
+    // Shard-local lanes: interior regions read as empty, so the planner can
+    // only widen the direct route with source-region scatter helpers —
+    // every resulting flow stays on links the source's shard owns.
+    if (config_.shard_local_lanes && r != src && r != dst) continue;
     inv[cloud::region_index(r)] = config_.helpers_per_region;
   }
   return inv;
@@ -160,11 +164,21 @@ void SageEngine::send_with(const model::Tradeoff& tradeoff, cloud::Region src,
   // Fallback: without monitoring data (cold start) SAGE degrades to a
   // direct transfer — never refuses to move data.
 
-  // Round-robin this send's endpoints across the configured gateway pool.
-  const auto pick = static_cast<std::size_t>(
-      send_counter_++ % static_cast<std::uint64_t>(config_.gateways_per_region));
-  const cloud::VmId src_gw = pool_.gateways(src, config_.gateways_per_region)[pick];
-  const cloud::VmId dst_gw = pool_.gateways(dst, config_.gateways_per_region)[pick];
+  cloud::VmId src_gw;
+  cloud::VmId dst_gw;
+  if (config_.ephemeral_endpoints) {
+    // One fresh endpoint pair per send, released on completion: transfers
+    // from differently-owned source regions never share a destination NIC,
+    // so their rates are independent of how the regions are sharded.
+    src_gw = provider_.provision(src, config_.agent_vm).id;
+    dst_gw = provider_.provision(dst, config_.agent_vm).id;
+  } else {
+    // Round-robin this send's endpoints across the configured gateway pool.
+    const auto pick = static_cast<std::size_t>(
+        send_counter_++ % static_cast<std::uint64_t>(config_.gateways_per_region));
+    src_gw = pool_.gateways(src, config_.gateways_per_region)[pick];
+    dst_gw = pool_.gateways(dst, config_.gateways_per_region)[pick];
+  }
 
   auto live = std::make_unique<LiveTransfer>();
   live->plan = plan;
@@ -173,6 +187,7 @@ void SageEngine::send_with(const model::Tradeoff& tradeoff, cloud::Region src,
   live->dst = dst;
   live->src_gw = src_gw;
   live->dst_gw = dst_gw;
+  live->owns_endpoints = config_.ephemeral_endpoints;
   live->last_eval_epoch = matrix.epoch;
   std::vector<net::Lane> lanes = build_lanes(plan, src_gw, dst_gw, src);
   record.lanes_used = static_cast<int>(lanes.size());
@@ -195,6 +210,11 @@ void SageEngine::send_with(const model::Tradeoff& tradeoff, cloud::Region src,
           const ByteRate per_lane =
               (size / rec.elapsed) / static_cast<double>(rec.lanes_used);
           monitoring_->report_transfer_observation(src, dst, per_lane);
+        }
+        if (raw->owns_endpoints) {
+          if (provider_.is_active(raw->src_gw)) provider_.release(raw->src_gw);
+          if (provider_.is_active(raw->dst_gw)) provider_.release(raw->dst_gw);
+          raw->owns_endpoints = false;
         }
         done(stream::SendOutcome{r.ok, rec.elapsed});
       });
@@ -265,9 +285,9 @@ sched::MultiPathPlan SageEngine::plan_for(const monitor::ThroughputMatrix& matri
                                           cloud::Region src, cloud::Region dst,
                                           int node_budget) {
   if (ctrl_cache_) {
-    return plan_cache_.plan(planner_, matrix, src, dst, inventory(), node_budget);
+    return plan_cache_.plan(planner_, matrix, src, dst, inventory(src, dst), node_budget);
   }
-  return planner_.plan(matrix, src, dst, inventory(), node_budget);
+  return planner_.plan(matrix, src, dst, inventory(src, dst), node_budget);
 }
 
 void SageEngine::reap() {

@@ -76,6 +76,18 @@ struct SageConfig {
   /// A fresh plan must promise at least this relative throughput gain to
   /// displace the executing one (hysteresis against monitoring noise).
   double replan_threshold = 0.15;
+  /// Sharded control plane: restrict every transfer's lane topology to VMs
+  /// in the source (and destination endpoint) region, so all of its flows
+  /// cross only links owned by the source region's shard. The planner sees
+  /// zero helper inventory in interior regions and therefore emits
+  /// direct-only plans — relay routes would cross links another lane owns.
+  bool shard_local_lanes = false;
+  /// Sharded control plane: provision a fresh pair of endpoint VMs per
+  /// send (released on completion) instead of round-robining the shared
+  /// gateway pool, so transfers from differently-owned source regions never
+  /// contend on a shared destination NIC — rates then depend only on the
+  /// owning lane's flow population, invariant to the shard count.
+  bool ephemeral_endpoints = false;
 };
 
 /// Everything SAGE decided and observed for one send.
@@ -184,12 +196,15 @@ class SageEngine final : public stream::TransferBackend {
     cloud::Region dst = cloud::Region::kNorthEU;
     cloud::VmId src_gw = 0;
     cloud::VmId dst_gw = 0;
+    /// Endpoints are per-send leases to release on completion
+    /// (config_.ephemeral_endpoints only).
+    bool owns_endpoints = false;
     /// Monitoring epoch at which this transfer's plan was last (re)evaluated;
     /// the sweep skips the transfer while the epoch stays put.
     std::uint64_t last_eval_epoch = 0;
   };
 
-  [[nodiscard]] sched::Inventory inventory() const;
+  [[nodiscard]] sched::Inventory inventory(cloud::Region src, cloud::Region dst) const;
   [[nodiscard]] std::vector<net::Lane> build_lanes(const sched::MultiPathPlan& plan,
                                                    cloud::VmId src_gw, cloud::VmId dst_gw,
                                                    cloud::Region src);

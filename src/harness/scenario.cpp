@@ -13,6 +13,7 @@ namespace {
 
 thread_local std::unique_ptr<obs::MetricsRegistry> g_task_metrics;
 thread_local std::uint64_t g_task_records = 0;
+thread_local int g_task_shards = -1;
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -48,16 +49,25 @@ obs::MetricsRegistry* current_task_metrics() { return g_task_metrics.get(); }
 
 void report_task_records(std::uint64_t records) { g_task_records += records; }
 
+void report_task_shards(int shards) { g_task_shards = shards; }
+
 namespace detail {
 
 void begin_task_metrics() {
   g_task_metrics = std::make_unique<obs::MetricsRegistry>();
   g_task_records = 0;
+  g_task_shards = -1;
 }
 
 std::uint64_t take_task_records() {
   const std::uint64_t n = g_task_records;
   g_task_records = 0;
+  return n;
+}
+
+int take_task_shards() {
+  const int n = g_task_shards;
+  g_task_shards = -1;
   return n;
 }
 
@@ -117,6 +127,7 @@ std::string ScenarioRunner::json(const std::string& bench, bool smoke) const {
       const TaskTiming& t = s.tasks[j];
       out += "      {\"index\": " + std::to_string(t.index) + ", \"label\": \"" +
              json_escape(t.label) + "\", \"wall_ms\": " + num(t.wall_ms);
+      out += ", \"shards\": " + std::to_string(t.shards >= 0 ? t.shards : shards_);
       if (t.records > 0) {
         out += ", \"records\": " + std::to_string(t.records);
         const double wall_s = t.wall_ms / 1e3;

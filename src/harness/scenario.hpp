@@ -65,6 +65,13 @@ obs::MetricsRegistry* current_task_metrics();
 /// outside a sweep.
 void report_task_records(std::uint64_t records);
 
+/// Record the shard count the current grid point executed at. Surfaces as
+/// `shards` in the task's --json record so sharded wall-clock wins are
+/// attributed honestly (sharded-soak sweeps mix shard counts within one
+/// sweep). Tasks that never call this inherit the runner-level default set
+/// via ScenarioRunner::set_shards. No-op outside a sweep.
+void report_task_shards(int shards);
+
 namespace detail {
 /// Install a fresh per-task registry on the calling thread.
 void begin_task_metrics();
@@ -72,6 +79,8 @@ void begin_task_metrics();
 std::string end_task_metrics();
 /// Drain the thread's report_task_records() accumulator.
 std::uint64_t take_task_records();
+/// Drain the thread's report_task_shards() value (-1 when unreported).
+int take_task_shards();
 }  // namespace detail
 
 struct TaskTiming {
@@ -80,6 +89,9 @@ struct TaskTiming {
   double wall_ms = 0.0;
   /// Records the task credited via report_task_records (0 = not reported).
   std::uint64_t records = 0;
+  /// Shard count the task executed at (-1 = unreported; json falls back to
+  /// the runner-level default).
+  int shards = -1;
   /// Merged metric snapshot for this grid point ("" when obs was off).
   std::string metrics_json;
 };
@@ -126,6 +138,7 @@ class ScenarioRunner {
       t.index = i;
       t.label = label_fn(tasks[i]);
       t.records = detail::take_task_records();
+      t.shards = detail::take_task_shards();
       t.metrics_json = detail::end_task_metrics();
       t.wall_ms = ms_since(began);
     };
@@ -157,6 +170,12 @@ class ScenarioRunner {
   [[nodiscard]] const std::vector<SweepTiming>& sweeps() const { return sweeps_; }
   [[nodiscard]] double total_wall_ms() const;
 
+  /// Default shard count recorded per task in json() for tasks that never
+  /// called report_task_shards (0 = plain engine; the BenchContext sets
+  /// this from --shards / SAGE_PAR_SHARDS).
+  void set_shards(int shards) { shards_ = shards; }
+  [[nodiscard]] int shards() const { return shards_; }
+
   /// Render the timing record ({bench, threads, sweeps:[{tasks:[...]}]}).
   [[nodiscard]] std::string json(const std::string& bench, bool smoke) const;
   /// Write json() to `path`; returns false (and keeps stdout untouched) on
@@ -175,6 +194,7 @@ class ScenarioRunner {
   }
 
   int threads_ = 1;
+  int shards_ = 0;
   std::unique_ptr<ThreadPool> pool_;  // only when threads_ > 1
   std::vector<SweepTiming> sweeps_;
 };

@@ -91,11 +91,23 @@ void MonitoringService::maybe_create_pairs() {
     link->dst = b;
     link->estimator = make_estimator(config_.kind, config_.estimator);
     LinkMonitor* raw = link.get();
-    link->task = std::make_unique<sim::PeriodicTask>(
-        engine_, config_.probe_interval, [this, raw] { probe_link(*raw); });
+    // Sharded lanes probe only the pairs they own; the monitor itself is
+    // created unconditionally so links_ (stagger order, matrix shape) is
+    // identical on every lane.
+    if (!config_.probe_filter || config_.probe_filter(a, b)) {
+      link->task = std::make_unique<sim::PeriodicTask>(
+          engine_, config_.probe_interval, [this, raw] { probe_link(*raw); });
+      if (config_.isolated_probes) {
+        link->probe_src_node =
+            provider_.fabric().add_node(a, config_.probe_nic, config_.probe_nic);
+        link->probe_dst_node =
+            provider_.fabric().add_node(b, config_.probe_nic, config_.probe_nic);
+        link->probe_nodes_ready = true;
+      }
+    }
     pair_slot_[pair_index(a, b)] = static_cast<std::int32_t>(links_.size());
     links_.push_back(std::move(link));
-    if (running_) {
+    if (running_ && links_.back()->task != nullptr) {
       // Stagger: start this pair's cadence offset by its index so probes
       // spread evenly over the interval instead of bursting together.
       const auto k = links_.size() - 1;
@@ -115,10 +127,14 @@ void MonitoringService::start() {
   running_ = true;
   std::size_t k = 0;
   for (auto& link : links_) {
+    // The stagger index advances for every monitored pair, probed here or
+    // not, so a sharded lane's owned probes keep the exact offsets they
+    // have in the unsharded service.
     const SimDuration offset =
         config_.probe_interval * (static_cast<double>(k++ % 16) / 16.0);
-    auto alive = alive_;
     sim::PeriodicTask* task = link->task.get();
+    if (task == nullptr) continue;  // remote-owned pair on a sharded lane
+    auto alive = alive_;
     engine_.schedule_after(offset, [alive, task] {
       if (*alive) task->start();
     });
@@ -133,7 +149,9 @@ void MonitoringService::start() {
 
 void MonitoringService::stop() {
   running_ = false;
-  for (auto& link : links_) link->task->stop();
+  for (auto& link : links_) {
+    if (link->task) link->task->stop();
+  }
   for (auto& task : cpu_tasks_) task->stop();
   cpu_tasks_.clear();
 }
@@ -157,14 +175,39 @@ void MonitoringService::probe_link(LinkMonitor& link) {
   ++probes_sent_;
   auto alive = alive_;
   LinkMonitor* raw = &link;
-  provider_.transfer(
-      *src_vm, *dst_vm, config_.probe_size, cloud::FlowOptions{},
-      [this, alive, raw](const cloud::FlowResult& r) {
-        if (!*alive) return;
-        raw->probe_in_flight = false;
-        if (!r.ok()) return;
-        ingest(*raw, r.achieved_rate().to_mb_per_sec());
-      });
+  auto on_done = [this, alive, raw](const cloud::FlowResult& r) {
+    if (!*alive) return;
+    raw->probe_in_flight = false;
+    if (!r.ok()) return;
+    accept_sample(*raw, r.achieved_rate().to_mb_per_sec());
+  };
+  if (link.probe_nodes_ready) {
+    // Dedicated endpoints: the probe exercises the same WAN pair link but
+    // never shares a NIC with another pair's probe or with agent traffic.
+    provider_.fabric().start_flow(link.probe_src_node, link.probe_dst_node,
+                                  config_.probe_size, cloud::FlowOptions{},
+                                  std::move(on_done));
+    return;
+  }
+  provider_.transfer(*src_vm, *dst_vm, config_.probe_size, cloud::FlowOptions{},
+                     std::move(on_done));
+}
+
+void MonitoringService::accept_sample(LinkMonitor& link, double mbps) {
+  if (config_.report_delay <= SimDuration::zero()) {
+    ingest(link, mbps);
+    return;
+  }
+  // Production-time relay: remote lanes receive (src, dst, mbps) through
+  // the cross-shard mailboxes and deliver at +report_delay; the local lane
+  // defers its own ingestion by the same delay so every lane's estimator
+  // advances at the same absolute sim time.
+  if (relay_) relay_(link.src, link.dst, mbps);
+  auto alive = alive_;
+  LinkMonitor* raw = &link;
+  engine_.schedule_after(config_.report_delay, [this, alive, raw, mbps] {
+    if (*alive) ingest(*raw, mbps);
+  });
 }
 
 void MonitoringService::ingest(LinkMonitor& link, double mbps) {
@@ -209,7 +252,17 @@ void MonitoringService::run_cpu_probe(cloud::Region region) {
 void MonitoringService::report_transfer_observation(cloud::Region src, cloud::Region dst,
                                                     ByteRate per_flow) {
   if (src == dst) return;
-  if (LinkMonitor* link = find_link(src, dst)) ingest(*link, per_flow.to_mb_per_sec());
+  if (LinkMonitor* link = find_link(src, dst)) {
+    accept_sample(*link, per_flow.to_mb_per_sec());
+  }
+}
+
+bool MonitoringService::deliver_sample(cloud::Region src, cloud::Region dst,
+                                       double mbps) {
+  LinkMonitor* link = find_link(src, dst);
+  if (link == nullptr) return false;
+  ingest(*link, mbps);
+  return true;
 }
 
 bool MonitoringService::inject_sample(cloud::Region src, cloud::Region dst, double mbps) {

@@ -107,6 +107,11 @@ class MetricsRegistry {
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] bool empty() const { return entries_.empty(); }
 
+  /// Presize the interned-key index for `n` total entries (no-op when
+  /// already large enough). merge() calls this with the source registry's
+  /// size so high-task-count harness merges never rehash mid-fold.
+  void reserve(std::size_t n) { index_.reserve(n); }
+
   /// Fold another World's registry into this one: counters and histogram
   /// buckets add, gauges take the incoming value (last write wins — the
   /// merged registry reports the most recently merged World's instantaneous

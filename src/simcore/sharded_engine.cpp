@@ -209,4 +209,11 @@ std::uint64_t ShardedSimEngine::events_cancelled() const {
   return n;
 }
 
+std::size_t ShardedSimEngine::live_events() const {
+  std::size_t n = 0;
+  for (const auto& lane : lanes_) n += lane->live_events();
+  for (const auto& box : outbox_) n += box.size();
+  return n;
+}
+
 }  // namespace sage::sim

@@ -100,6 +100,10 @@ class ShardedSimEngine {
   [[nodiscard]] std::uint64_t events_fired() const;
   [[nodiscard]] std::uint64_t events_scheduled() const;
   [[nodiscard]] std::uint64_t events_cancelled() const;
+  /// Pending events summed over lanes plus undelivered mailbox posts —
+  /// zero means the whole sharded world is idle (scenario drivers use this
+  /// for quantized predicate waits).
+  [[nodiscard]] std::size_t live_events() const;
   /// Cross-lane mailbox records delivered at barriers so far.
   [[nodiscard]] std::uint64_t cross_posts() const { return cross_posts_; }
   /// Lock-step windows executed so far (0 when collapsed).

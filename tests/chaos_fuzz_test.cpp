@@ -30,6 +30,8 @@
 #include "cloud/provider.hpp"
 #include "cloud/topology.hpp"
 #include "common/rng.hpp"
+#include "core/sharded_sage.hpp"
+#include "model/tradeoff.hpp"
 #include "monitor/monitoring.hpp"
 #include "obs/obs.hpp"
 #include "simcore/sharded_engine.hpp"
@@ -237,7 +239,87 @@ void fuzz_stream_world(std::uint64_t seed, bool fuse, bool soa) {
 }
 
 // ---------------------------------------------------------------------------
-// 200 seeds; each runs both worlds at its grid cell.
+// World 3 (every 10th seed — a full control plane is the priciest world): a
+// sharded deploy_sage scenario under the same schedule class. The property
+// is the lock-step epoch invariant of core::ShardedSage — arbitrary faults
+// (outages killing agents and probe endpoints, poisoned estimators,
+// partitions stranding transfers) must never make one lane's sample epoch
+// diverge from another's, because the per-lane plan/resolve caches key on
+// it being identical everywhere.
+// ---------------------------------------------------------------------------
+
+void fuzz_plane_world(std::uint64_t seed, std::size_t shards) {
+  const auto topo =
+      std::make_shared<const cloud::Topology>(cloud::stable_topology());
+  core::SageConfig config;
+  config.regions = topo->regions();
+  config.monitoring.probe_interval = SimDuration::minutes(1);
+  core::ShardedSage::Options opts;
+  opts.shards = shards;
+  core::ShardedSage sage(topo, seed, config, opts);
+  sage.deploy();
+  sage.run_for(SimDuration::minutes(5));
+  const SimTime t0 = sage.engine().shard(0).now();
+
+  std::vector<std::pair<Region, Region>> pairs;
+  for (const cloud::Topology::Edge& e : topo->edges()) {
+    if (e.src != e.dst) pairs.emplace_back(e.src, e.dst);
+  }
+  ASSERT_FALSE(pairs.empty());
+
+  Rng rng(seed ^ 0x51a6e5u);
+  struct alignas(64) LaneDone {
+    int done = 0;
+  };
+  std::vector<LaneDone> done(sage.lane_count());
+  const int sends = 4;
+  for (int i = 0; i < sends; ++i) {
+    const auto [a, b] = pairs[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(pairs.size()) - 1))];
+    const std::size_t l = sage.lane_of(a);
+    const Bytes payload = Bytes::mb(rng.uniform_int(24, 64));
+    const SimDuration start = SimDuration::seconds(rng.uniform(0.0, 60.0));
+    LaneDone* slot = &done[l];
+    core::ShardedSage* plane = &sage;
+    sage.engine().shard(l).schedule_after(start, [plane, slot, a, b, payload] {
+      plane->send(a, b, payload, model::Tradeoff::fastest(),
+                  [slot](const stream::SendOutcome&) { ++slot->done; });
+    });
+  }
+
+  FaultPlan plan = FaultPlan::random(seed * 131 + 7, *topo,
+                                     t0 + SimDuration::seconds(5),
+                                     SimDuration::seconds(120), 8);
+  SCOPED_TRACE("seed=" + std::to_string(seed) + " shards=" +
+               std::to_string(shards) + "\nschedule:\n" + plan.describe());
+  std::vector<ChaosTargets> targets;
+  for (std::size_t l = 0; l < sage.lane_count(); ++l) {
+    targets.push_back(
+        ChaosTargets{&sage.provider(l).fabric(), &sage.lane(l).monitoring()});
+  }
+  ChaosController chaos(sage.engine(), std::move(targets), std::move(plan),
+                        /*enabled=*/true);
+
+  ChaosInvariants inv;
+  auto total_done = [&] {
+    int n = 0;
+    for (const LaneDone& d : done) n += d.done;
+    return n;
+  };
+  for (int window = 0; window < 30; ++window) {
+    sage.run_for(SimDuration::minutes(2));
+    ASSERT_TRUE(sage.epochs_consistent()) << "epochs diverged in window " << window;
+    inv.check_epoch(sage.lane(0).monitoring());
+    if (total_done() == sends && window >= 2) break;
+  }
+  EXPECT_TRUE(inv.ok()) << inv.report();
+  EXPECT_EQ(total_done(), sends) << "a send never resolved within the budget";
+  EXPECT_GT(chaos.faults_applied(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// 200 seeds; each runs both worlds at its grid cell (every 10th adds the
+// full sharded control plane).
 // ---------------------------------------------------------------------------
 
 class ChaosScheduleFuzz : public ::testing::TestWithParam<std::uint64_t> {};
@@ -247,6 +329,7 @@ TEST_P(ChaosScheduleFuzz, InvariantsHoldUnderRandomSchedule) {
   const FuzzConfig fc = config_for(seed);
   fuzz_fabric_world(seed, fc.shards);
   fuzz_stream_world(seed, fc.fuse, fc.soa);
+  if (seed % 10 == 7) fuzz_plane_world(seed, fc.shards);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosScheduleFuzz,
